@@ -1,0 +1,179 @@
+package commit
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/live"
+)
+
+// Cluster runs n participants in one address space over an in-memory
+// network. It is the quickest way to use the library and the substrate of
+// the examples; each Commit call runs one full protocol instance.
+type Cluster struct {
+	opts      Options
+	resources []Resource
+	mesh      *live.Mesh
+
+	mu      sync.Mutex
+	members []*member
+	closed  bool
+	seq     int
+}
+
+type member struct {
+	id core.ProcessID
+	tr live.Transport
+
+	mu        sync.Mutex
+	instances map[string]*live.Instance
+	pending   map[string][]live.Envelope
+}
+
+// NewCluster builds a cluster with one participant per resource.
+func NewCluster(resources []Resource, opts Options) (*Cluster, error) {
+	n := len(resources)
+	opts, err := opts.withDefaults(n)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{opts: opts, resources: resources, mesh: live.NewMesh()}
+	for i := 1; i <= n; i++ {
+		m := &member{
+			id:        core.ProcessID(i),
+			tr:        c.mesh.Endpoint(core.ProcessID(i)),
+			instances: make(map[string]*live.Instance),
+			pending:   make(map[string][]live.Envelope),
+		}
+		m.tr.SetHandler(m.deliver)
+		c.members = append(c.members, m)
+	}
+	return c, nil
+}
+
+// Mesh exposes the underlying network for latency/partition injection in
+// tests and demos.
+func (c *Cluster) Mesh() *live.Mesh { return c.mesh }
+
+func (m *member) deliver(e live.Envelope) {
+	m.mu.Lock()
+	inst, ok := m.instances[e.TxID]
+	if !ok {
+		// The instance for this transaction does not exist yet (Commit is
+		// still wiring members up); buffer — perfect links do not lose
+		// messages.
+		m.pending[e.TxID] = append(m.pending[e.TxID], e)
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+	inst.Deliver(e)
+}
+
+// Commit runs one atomic commit instance across all participants: every
+// resource is asked to Prepare (its vote), the configured protocol decides,
+// and Commit/Abort callbacks fire on every participant. It returns the
+// decision (true = committed).
+//
+// The returned error reports infrastructure problems (context expiry before
+// a decision, closed cluster); a unanimous abort is a normal outcome, not an
+// error.
+func (c *Cluster) Commit(ctx context.Context, txID string) (bool, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false, fmt.Errorf("commit: cluster closed")
+	}
+	if txID == "" {
+		c.seq++
+		txID = fmt.Sprintf("tx-%d", c.seq)
+	}
+	members := c.members
+	c.mu.Unlock()
+
+	n := len(members)
+	factory := c.opts.factory()
+
+	// Phase 1: create every instance (so no message can race a missing
+	// instance), collecting the votes via Prepare.
+	votes := make([]core.Value, n)
+	insts := make([]*live.Instance, n)
+	for i, m := range members {
+		votes[i] = core.Abort
+		if c.resources[i].Prepare(txID) {
+			votes[i] = core.Commit
+		}
+		inst := live.NewInstance(live.Config{
+			ID: m.id, N: n, F: c.opts.F, U: c.opts.ticks(), TxID: txID,
+			New:  factory,
+			Send: m.tr.Send,
+		})
+		insts[i] = inst
+		m.mu.Lock()
+		m.instances[txID] = inst
+		m.mu.Unlock()
+	}
+
+	// Phase 2: spontaneous start (the paper's footnote-13 convention),
+	// then flush anything that arrived early.
+	for i, m := range members {
+		inst := insts[i]
+		inst.Start(votes[i])
+		m.mu.Lock()
+		pend := m.pending[txID]
+		delete(m.pending, txID)
+		m.mu.Unlock()
+		for _, e := range pend {
+			inst.Deliver(e)
+		}
+	}
+
+	// Phase 3: gather decisions and apply the callbacks.
+	defer func() {
+		for i, m := range members {
+			insts[i].Close()
+			m.mu.Lock()
+			delete(m.instances, txID)
+			m.mu.Unlock()
+		}
+	}()
+
+	var first core.Value
+	for i := range members {
+		v, err := insts[i].Wait(ctx)
+		if err != nil {
+			return false, err
+		}
+		if i == 0 {
+			first = v
+		} else if v != first {
+			// Cannot happen for protocols whose contract includes
+			// agreement in the executions the deployment can produce;
+			// surfacing it beats hiding it.
+			return false, fmt.Errorf("commit: agreement violation on %s: %v vs %v", txID, first, v)
+		}
+	}
+	for i := range members {
+		if first == core.Commit {
+			c.resources[i].Commit(txID)
+		} else {
+			c.resources[i].Abort(txID)
+		}
+	}
+	return first == core.Commit, nil
+}
+
+// Close shuts the cluster down; in-flight Commit calls may fail.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, m := range c.members {
+		m.tr.Close()
+	}
+}

@@ -1,0 +1,212 @@
+// Package commit is the public API of this repository: non-blocking atomic
+// commit for distributed transactions, implementing the protocols of
+// Guerraoui & Wang, "How Fast can a Distributed Transaction Commit?"
+// (PODS 2017) — most notably INBAC, the paper's delay-optimal indulgent
+// commit protocol, alongside 2PC, 3PC, PaxosCommit, Faster PaxosCommit and
+// the paper's whole family of optimal NBAC protocols.
+//
+// Three ways to use it:
+//
+//   - Cluster: n participants in one address space over an in-memory
+//     network — the quickest way to commit transactions or to demonstrate
+//     protocol behavior under injected failures.
+//   - Peer: one participant per address space over TCP — a real deployment
+//     shape.
+//   - Simulate: deterministic executions on the discrete-event simulator
+//     with exact message/delay measurements — the paper's complexity
+//     tables live here.
+//
+// Pick the protocol by name; Protocols lists everything available. INBAC is
+// the default: it decides in two message delays like 2PC, but stays safe
+// AND live under crashes and network failures (given a correct majority),
+// which 2PC does not.
+package commit
+
+import (
+	"fmt"
+	"time"
+
+	"atomiccommit/internal/consensus"
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/live"
+	"atomiccommit/internal/protocols"
+	"atomiccommit/internal/protocols/anbac"
+	"atomiccommit/internal/protocols/avnbac"
+	"atomiccommit/internal/protocols/chainnbac"
+	"atomiccommit/internal/protocols/fullnbac"
+	"atomiccommit/internal/protocols/hubnbac"
+	"atomiccommit/internal/protocols/inbac"
+	"atomiccommit/internal/protocols/onenbac"
+	"atomiccommit/internal/protocols/paxoscommit"
+	"atomiccommit/internal/protocols/threepc"
+	"atomiccommit/internal/protocols/twopc"
+	"atomiccommit/internal/protocols/zeronbac"
+)
+
+// Protocol selects a commit protocol by its registry name.
+type Protocol string
+
+// The available protocols. See DESIGN.md for each protocol's guarantees
+// (its (crash-failure, network-failure) property cell from the paper).
+const (
+	// INBAC is the paper's contribution: indulgent (solves NBAC under
+	// crashes AND network failures), 2 message delays, 2fn messages.
+	INBAC Protocol = "inbac"
+	// TwoPC is classic two-phase commit: 2 delays, 2n-2 messages, blocking
+	// on coordinator failure.
+	TwoPC Protocol = "2pc"
+	// ThreePC is Skeen's three-phase commit with a rotating termination
+	// protocol: non-blocking under crashes, 4 delays, 4n-4 messages.
+	ThreePC Protocol = "3pc"
+	// PaxosCommit is Gray & Lamport's commit-over-Paxos: indulgent,
+	// 3 delays, nf+2n-2 messages.
+	PaxosCommit Protocol = "paxoscommit"
+	// FasterPaxosCommit removes one delay for 2fn+2n-2f-2 messages.
+	FasterPaxosCommit Protocol = "fasterpaxoscommit"
+	// OneNBAC decides in ONE message delay (optimal for synchronous NBAC).
+	OneNBAC Protocol = "1nbac"
+	// ChainNBAC uses the minimal n-1+f messages for synchronous NBAC.
+	ChainNBAC Protocol = "chainnbac"
+	// FullNBAC is the message-optimal indulgent protocol (2n-2+f).
+	FullNBAC Protocol = "fullnbac"
+	// ZeroNBAC exchanges ZERO messages in the failure-free all-yes case
+	// (it gives up validity under failures).
+	ZeroNBAC Protocol = "0nbac"
+)
+
+// Protocols returns the names of every registered protocol.
+func Protocols() []string {
+	all := protocols.All()
+	names := make([]string, len(all))
+	for i, p := range all {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Options configures a Cluster or Peer.
+type Options struct {
+	// Protocol defaults to INBAC.
+	Protocol Protocol
+	// F is the number of tolerated crashes (1 <= F <= n-1); defaults to 1.
+	// Protocols that fall back on consensus additionally need a correct
+	// majority to terminate under failures.
+	F int
+	// Timeout is the unit U: the assumed upper bound on one message delay.
+	// Defaults to 50ms. Size it a comfortable multiple of the real network
+	// round trip; indulgent protocols (INBAC, PaxosCommit, FullNBAC) stay
+	// correct even when the bound is violated.
+	Timeout time.Duration
+	// Accelerated enables INBAC's one-delay abort fast path (section 5.2).
+	Accelerated bool
+}
+
+func (o Options) withDefaults(n int) (Options, error) {
+	if o.Protocol == "" {
+		o.Protocol = INBAC
+	}
+	if o.F == 0 {
+		o.F = 1
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 50 * time.Millisecond
+	}
+	if n < 2 {
+		return o, fmt.Errorf("commit: need at least 2 participants, got %d", n)
+	}
+	if o.F < 1 || o.F > n-1 {
+		return o, fmt.Errorf("commit: F must be in [1, n-1], got F=%d n=%d", o.F, n)
+	}
+	if _, ok := protocols.ByName(string(o.Protocol)); !ok {
+		return o, fmt.Errorf("commit: unknown protocol %q (available: %v)", o.Protocol, Protocols())
+	}
+	return o, nil
+}
+
+// factory builds the per-process module factory for the chosen protocol.
+func (o Options) factory() func(core.ProcessID) core.Module {
+	if o.Protocol == INBAC && o.Accelerated {
+		return inbac.New(inbac.Options{Accelerated: true})
+	}
+	info, _ := protocols.ByName(string(o.Protocol))
+	return info.New()
+}
+
+// ticks converts the Timeout into the live runtime's U (milliseconds).
+func (o Options) ticks() core.Ticks {
+	t := core.Ticks(o.Timeout / live.TickDuration)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Resource is the participant-side hook: the local outcome of the
+// transaction's execution (the paper's "vote") and the final callbacks.
+type Resource interface {
+	// Prepare reports whether the transaction can commit locally ("yes"
+	// vote). A false vote guarantees a global abort.
+	Prepare(txID string) bool
+	// Commit applies the transaction; called exactly once iff the global
+	// decision is commit.
+	Commit(txID string)
+	// Abort discards the transaction; called exactly once iff the global
+	// decision is abort.
+	Abort(txID string)
+}
+
+// ResourceFunc adapts plain functions to Resource. Nil fields default to
+// voting yes and ignoring the callbacks.
+type ResourceFunc struct {
+	PrepareFn func(txID string) bool
+	CommitFn  func(txID string)
+	AbortFn   func(txID string)
+}
+
+// Prepare implements Resource.
+func (r ResourceFunc) Prepare(txID string) bool {
+	if r.PrepareFn == nil {
+		return true
+	}
+	return r.PrepareFn(txID)
+}
+
+// Commit implements Resource.
+func (r ResourceFunc) Commit(txID string) {
+	if r.CommitFn != nil {
+		r.CommitFn(txID)
+	}
+}
+
+// Abort implements Resource.
+func (r ResourceFunc) Abort(txID string) {
+	if r.AbortFn != nil {
+		r.AbortFn(txID)
+	}
+}
+
+// init registers every protocol message type for the TCP transport's gob
+// encoding.
+func init() {
+	for _, m := range []core.Message{
+		consensus.MsgPrepare{}, consensus.MsgPromise{}, consensus.MsgAccept{},
+		consensus.MsgAccepted{}, consensus.MsgNack{}, consensus.MsgDecided{},
+		consensus.MsgFlood{},
+		inbac.MsgV{}, inbac.MsgC{}, inbac.MsgHelp{}, inbac.MsgHelped{}, inbac.MsgA{},
+		twopc.MsgReq{}, twopc.MsgVote{}, twopc.MsgOutcome{},
+		threepc.MsgVote{}, threepc.MsgPrecommit{}, threepc.MsgAck{},
+		threepc.MsgOutcome{}, threepc.MsgState{},
+		onenbac.MsgV{}, onenbac.MsgD{},
+		avnbac.MsgV{}, avnbac.MsgB{},
+		zeronbac.MsgV{}, zeronbac.MsgB{}, zeronbac.MsgAck{},
+		chainnbac.MsgVal{},
+		anbac.MsgVal{}, anbac.MsgV0{}, anbac.MsgB0{}, anbac.MsgAck{},
+		hubnbac.MsgV{}, hubnbac.MsgB{},
+		fullnbac.MsgV{}, fullnbac.MsgB{}, fullnbac.MsgZ{}, fullnbac.MsgHelp{}, fullnbac.MsgHelped{},
+		paxoscommit.MsgVote2a{}, paxoscommit.MsgBundle{}, paxoscommit.MsgOutcome{},
+		paxoscommit.MsgPrepareI{}, paxoscommit.MsgPromiseI{}, paxoscommit.MsgAcceptI{},
+		paxoscommit.MsgAcceptedI{},
+	} {
+		live.RegisterMessage(m)
+	}
+}

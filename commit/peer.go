@@ -1,0 +1,194 @@
+package commit
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/live"
+)
+
+// beginPath is the reserved envelope path announcing a transaction to peers
+// that have not started an instance for it yet.
+const beginPath = "\x00begin"
+
+// beginMsg tells a peer to Prepare and start its instance for Envelope.TxID.
+type beginMsg struct{}
+
+// Kind implements core.Message.
+func (beginMsg) Kind() string { return "BEGIN" }
+
+func init() { live.RegisterMessage(beginMsg{}) }
+
+// Peer is one participant in its own address space, connected to the others
+// over TCP: the realistic deployment shape. Any peer may initiate a
+// transaction with Commit; the other peers vote via their Resource and apply
+// the outcome via its callbacks.
+type Peer struct {
+	id   core.ProcessID
+	n    int
+	opts Options
+	res  Resource
+	tcp  *live.TCP
+
+	mu        sync.Mutex
+	instances map[string]*live.Instance
+	pending   map[string][]live.Envelope
+	started   map[string]bool
+	closed    bool
+}
+
+// NewPeer starts participant id (1-based); addrs[i-1] is Pi's address, and
+// this peer listens on addrs[id-1].
+func NewPeer(id int, addrs []string, resource Resource, opts Options) (*Peer, error) {
+	opts, err := opts.withDefaults(len(addrs))
+	if err != nil {
+		return nil, err
+	}
+	if id < 1 || id > len(addrs) {
+		return nil, fmt.Errorf("commit: peer id %d out of range 1..%d", id, len(addrs))
+	}
+	tcp, err := live.NewTCP(core.ProcessID(id), addrs)
+	if err != nil {
+		return nil, err
+	}
+	p := &Peer{
+		id: core.ProcessID(id), n: len(addrs), opts: opts, res: resource, tcp: tcp,
+		instances: make(map[string]*live.Instance),
+		pending:   make(map[string][]live.Envelope),
+		started:   make(map[string]bool),
+	}
+	tcp.SetHandler(p.deliver)
+	return p, nil
+}
+
+// Addr returns the peer's bound listen address.
+func (p *Peer) Addr() string { return p.tcp.Addr() }
+
+func (p *Peer) deliver(e live.Envelope) {
+	if e.Path == beginPath {
+		p.ensureInstance(e.TxID)
+		return
+	}
+	p.mu.Lock()
+	inst, ok := p.instances[e.TxID]
+	if !ok {
+		p.pending[e.TxID] = append(p.pending[e.TxID], e)
+		p.mu.Unlock()
+		// A protocol message for an unannounced transaction also implies
+		// the transaction exists: start our instance (its vote comes from
+		// our Resource).
+		p.ensureInstance(e.TxID)
+		return
+	}
+	p.mu.Unlock()
+	inst.Deliver(e)
+}
+
+// ensureInstance creates and starts the local instance for txID once,
+// voting via the Resource, then flushes buffered messages.
+func (p *Peer) ensureInstance(txID string) *live.Instance {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	if inst, ok := p.instances[txID]; ok {
+		p.mu.Unlock()
+		return inst
+	}
+	if p.started[txID] {
+		p.mu.Unlock()
+		return nil
+	}
+	p.started[txID] = true
+	p.mu.Unlock()
+
+	// Prepare outside the lock: it is user code and may take time.
+	vote := core.Abort
+	if p.res.Prepare(txID) {
+		vote = core.Commit
+	}
+	inst := live.NewInstance(live.Config{
+		ID: p.id, N: p.n, F: p.opts.F, U: p.opts.ticks(), TxID: txID,
+		New:  p.opts.factory(),
+		Send: p.tcp.Send,
+	})
+
+	p.mu.Lock()
+	p.instances[txID] = inst
+	pend := p.pending[txID]
+	delete(p.pending, txID)
+	p.mu.Unlock()
+
+	inst.Start(vote)
+	for _, e := range pend {
+		inst.Deliver(e)
+	}
+	// Apply the outcome to the resource when the decision lands.
+	go func() {
+		<-inst.Done()
+		if inst.Outcome() == core.Commit {
+			p.res.Commit(txID)
+		} else {
+			p.res.Abort(txID)
+		}
+	}()
+	return inst
+}
+
+// Commit initiates transaction txID from this peer and blocks until the
+// LOCAL decision (other peers decide on their own and fire their callbacks).
+// It returns true iff the transaction committed.
+func (p *Peer) Commit(ctx context.Context, txID string) (bool, error) {
+	if txID == "" {
+		return false, fmt.Errorf("commit: txID required")
+	}
+	// Announce the transaction so every peer starts (roughly) together.
+	for q := 1; q <= p.n; q++ {
+		if core.ProcessID(q) != p.id {
+			_ = p.tcp.Send(live.Envelope{TxID: txID, From: p.id, To: core.ProcessID(q), Path: beginPath, Msg: beginMsg{}})
+		}
+	}
+	inst := p.ensureInstance(txID)
+	if inst == nil {
+		return false, fmt.Errorf("commit: peer closed")
+	}
+	v, err := inst.Wait(ctx)
+	if err != nil {
+		return false, err
+	}
+	return v == core.Commit, nil
+}
+
+// Wait blocks until this peer's instance for txID (started by any peer)
+// decides.
+func (p *Peer) Wait(ctx context.Context, txID string) (bool, error) {
+	inst := p.ensureInstance(txID)
+	if inst == nil {
+		return false, fmt.Errorf("commit: peer closed")
+	}
+	v, err := inst.Wait(ctx)
+	if err != nil {
+		return false, err
+	}
+	return v == core.Commit, nil
+}
+
+// Close shuts the peer down.
+func (p *Peer) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	insts := p.instances
+	p.instances = make(map[string]*live.Instance)
+	p.mu.Unlock()
+	for _, inst := range insts {
+		inst.Close()
+	}
+	p.tcp.Close()
+}

@@ -1,0 +1,126 @@
+package commit
+
+import (
+	"fmt"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/protocols"
+	"atomiccommit/internal/sched"
+	"atomiccommit/internal/sim"
+)
+
+// Scenario describes one deterministic simulated execution for Simulate.
+// The zero value is a nice execution: no failures, every participant votes
+// yes, every message takes exactly one delay unit.
+type Scenario struct {
+	// N is the number of participants (required, >= 2).
+	N int
+	// F is the resilience parameter (default 1).
+	F int
+	// Votes holds each participant's vote; nil means all yes.
+	Votes []bool
+	// CrashAtUnit crashes participants at the given time, measured in
+	// delay units (0 = before sending anything).
+	CrashAtUnit map[int]int
+	// SlowUntilUnit delays every message sent before this time (in delay
+	// units) to take SlowFactor units instead of one — an eventually
+	// synchronous network, i.e. a "network failure" in the paper's sense.
+	SlowUntilUnit int
+	// SlowFactor is the slowdown before stabilization (default 3).
+	SlowFactor int
+}
+
+// Report is the outcome of a simulated execution, measured exactly.
+type Report struct {
+	// Committed reports a unanimous commit; Decided is false if any
+	// correct participant never decided (e.g. 2PC blocking on its
+	// coordinator).
+	Committed bool
+	Decided   bool
+
+	// Messages is the number of point-to-point messages delivered up to
+	// the last decision (the paper's counting); Delays is the number of
+	// message delay units until the last decision.
+	Messages int
+	Delays   int
+
+	// SolvedNBAC reports whether this particular execution satisfied
+	// validity, agreement and termination.
+	SolvedNBAC bool
+
+	// Agreement and Validity break down SolvedNBAC for executions where
+	// termination is not expected.
+	Agreement bool
+	Validity  bool
+}
+
+// Simulate runs one deterministic execution of the protocol under the
+// scenario and returns exact measurements. This is the programmatic face of
+// the paper's complexity experiments: a nice Scenario reproduces the
+// protocol's Table 5 row.
+func Simulate(p Protocol, sc Scenario) (Report, error) {
+	info, ok := protocols.ByName(string(p))
+	if !ok {
+		return Report{}, fmt.Errorf("commit: unknown protocol %q (available: %v)", p, Protocols())
+	}
+	if sc.N < info.MinN {
+		return Report{}, fmt.Errorf("commit: %s needs at least %d participants, got %d", p, info.MinN, sc.N)
+	}
+	if sc.F == 0 {
+		sc.F = 1
+	}
+	if sc.F < 1 || sc.F > sc.N-1 {
+		return Report{}, fmt.Errorf("commit: F must be in [1, n-1], got F=%d n=%d", sc.F, sc.N)
+	}
+	u := sim.DefaultU
+
+	var votes []core.Value
+	if sc.Votes != nil {
+		if len(sc.Votes) != sc.N {
+			return Report{}, fmt.Errorf("commit: got %d votes for %d participants", len(sc.Votes), sc.N)
+		}
+		votes = make([]core.Value, sc.N)
+		for i, v := range sc.Votes {
+			if v {
+				votes[i] = core.Commit
+			}
+		}
+	}
+
+	var pols []sim.Policy
+	if len(sc.CrashAtUnit) > 0 {
+		crash := make(map[core.ProcessID]core.Ticks, len(sc.CrashAtUnit))
+		for id, unit := range sc.CrashAtUnit {
+			if id < 1 || id > sc.N {
+				return Report{}, fmt.Errorf("commit: crash target %d out of range 1..%d", id, sc.N)
+			}
+			crash[core.ProcessID(id)] = core.Ticks(unit) * u
+		}
+		pols = append(pols, sched.Crashes(crash))
+	}
+	if sc.SlowUntilUnit > 0 {
+		factor := sc.SlowFactor
+		if factor < 2 {
+			factor = 3
+		}
+		pols = append(pols, sched.GST(u, core.Ticks(sc.SlowUntilUnit)*u, core.Ticks(factor)*u))
+	}
+
+	r := sim.Run(sim.Config{
+		N: sc.N, F: sc.F, U: u,
+		Votes:  votes,
+		New:    info.New(),
+		Policy: sched.Merge(pols...),
+	})
+
+	v, agreed := r.Decision()
+	return Report{
+		Committed:  agreed && r.AllCorrectDecided() && v == core.Commit,
+		Decided:    r.AllCorrectDecided(),
+		Messages:   r.MessagesToDecide,
+		Delays:     r.DelayUnits(),
+		SolvedNBAC: r.SolvesNBAC(),
+		Agreement:  r.Agreement(),
+		Validity:   r.Validity(),
+	}, nil
+}

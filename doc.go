@@ -1,0 +1,10 @@
+// Package atomiccommit reproduces "How Fast can a Distributed Transaction
+// Commit?" (Guerraoui & Wang, PODS 2017) as a production-quality Go library.
+//
+// The public API lives in the commit subpackage; the protocols, the
+// deterministic simulator, the consensus substrate and the benchmark harness
+// live under internal/. See README.md for a tour, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the paper-vs-measured record of every
+// table and figure. The benchmarks in bench_test.go regenerate the paper's
+// evaluation (go test -bench=. -benchmem).
+package atomiccommit

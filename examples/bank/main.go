@@ -1,0 +1,163 @@
+// Bank: a cross-shard money transfer over TCP, the workload the paper's
+// introduction motivates (Spanner/Percolator-style distributed
+// transactions). Four bank shards run as independent peers (each with its
+// own listener and state); a transfer debits one shard and credits another,
+// and must commit atomically on both — while the other shards vote too
+// (read validation in a real system).
+//
+// The demo then crashes one shard and shows that INBAC still terminates —
+// the exact scenario where 2PC would block forever.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"atomiccommit/commit"
+)
+
+// shard is one bank partition: a slice of accounts and a staging area for
+// in-flight transfers.
+type shard struct {
+	name string
+
+	mu       sync.Mutex
+	balances map[string]int
+	staged   map[string]func() // txID -> apply
+	vetoed   map[string]bool   // txID -> local refusal (overdraft)
+}
+
+func newShard(name string, balances map[string]int) *shard {
+	return &shard{name: name, balances: balances,
+		staged: make(map[string]func()), vetoed: make(map[string]bool)}
+}
+
+// stage records the local effect of a transfer. An overdraft is remembered
+// as a veto: this shard will vote no, forcing a global abort (validity).
+func (s *shard) stage(txID, account string, delta int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bal, ok := s.balances[account]
+	if !ok || bal+delta < 0 {
+		s.vetoed[txID] = true
+		return false
+	}
+	s.staged[txID] = func() { s.balances[account] += delta }
+	return true
+}
+
+// Prepare implements commit.Resource: yes unless this shard vetoed the
+// transaction. Shards not involved in a transfer have nothing staged and no
+// objection, so they vote yes.
+func (s *shard) Prepare(txID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.vetoed[txID]
+}
+
+// Commit implements commit.Resource.
+func (s *shard) Commit(txID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if apply, ok := s.staged[txID]; ok {
+		apply()
+		delete(s.staged, txID)
+		fmt.Printf("  [%s] applied %s\n", s.name, txID)
+	}
+}
+
+// Abort implements commit.Resource.
+func (s *shard) Abort(txID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.staged[txID]; ok {
+		delete(s.staged, txID)
+		fmt.Printf("  [%s] rolled back %s\n", s.name, txID)
+	}
+}
+
+func (s *shard) balance(account string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.balances[account]
+}
+
+func main() {
+	addrs := []string{"127.0.0.1:39411", "127.0.0.1:39412", "127.0.0.1:39413", "127.0.0.1:39414"}
+	shards := []*shard{
+		newShard("eu", map[string]int{"alice": 100}),
+		newShard("us", map[string]int{"bob": 10}),
+		newShard("ap", map[string]int{"carol": 55}),
+		newShard("sa", map[string]int{"dave": 7}),
+	}
+	opts := commit.Options{Protocol: commit.INBAC, F: 1, Timeout: 40 * time.Millisecond}
+
+	peers := make([]*commit.Peer, len(shards))
+	for i, s := range shards {
+		p, err := commit.NewPeer(i+1, addrs, s, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+		peers[i] = p
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// settle waits for the asynchronous per-peer callbacks of a decided
+	// transaction to land before reading balances (each peer applies its
+	// own outcome independently — the initiator only waits for the local
+	// decision, as in a real deployment).
+	settle := func() { time.Sleep(150 * time.Millisecond) }
+
+	// Transfer 1: alice (eu) pays bob (us) 30.
+	tx1 := "xfer-alice-bob-30"
+	shards[0].stage(tx1, "alice", -30)
+	shards[1].stage(tx1, "bob", +30)
+	ok, err := peers[0].Commit(ctx, tx1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	settle()
+	fmt.Printf("transfer 1 committed=%v; alice=%d bob=%d\n\n", ok, shards[0].balance("alice"), shards[1].balance("bob"))
+
+	// Transfer 2: overdraft — dave has 7 and tries to send 50. His shard
+	// vetoes (votes no), so the whole transaction aborts and carol's
+	// staged credit is rolled back (abort validity, both directions).
+	tx2 := "xfer-dave-carol-50"
+	if !shards[3].stage(tx2, "dave", -50) {
+		fmt.Println("dave's shard vetoes an overdraft; the transaction must abort globally")
+	}
+	shards[2].stage(tx2, "carol", +50)
+	ok, err = peers[3].Commit(ctx, tx2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	settle()
+	fmt.Printf("transfer 2 committed=%v (carol=%d unchanged, dave=%d unchanged)\n\n",
+		ok, shards[2].balance("carol"), shards[3].balance("dave"))
+
+	// Transfer 3: a shard CRASHES mid-protocol. P4 goes away; INBAC (f=1)
+	// still terminates on the survivors. With 2PC this would hang forever
+	// if the crashed peer were the coordinator.
+	peers[3].Close()
+	fmt.Println("shard sa crashed (peer closed)")
+	tx3 := "xfer-alice-carol-10"
+	shards[0].stage(tx3, "alice", -10)
+	shards[2].stage(tx3, "carol", +10)
+	start := time.Now()
+	ok, err = peers[0].Commit(ctx, tx3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	settle()
+	fmt.Printf("transfer 3 with a crashed shard: committed=%v in %v; alice=%d carol=%d\n",
+		ok, time.Since(start).Round(time.Millisecond), shards[0].balance("alice"), shards[2].balance("carol"))
+	fmt.Println("(the crashed shard's vote never arrived, so INBAC decided ABORT — validity")
+	fmt.Println(" allows it, a failure occurred — and crucially it DECIDED: 2PC would hang here)")
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/protocols/inbac"
+	"atomiccommit/internal/sched"
+	"atomiccommit/internal/sim"
+)
+
+// Figure1Scenario drives INBAC down one branch of the paper's Figure 1
+// state machine ("state transition after 2U").
+type Figure1Scenario struct {
+	Name   string
+	N, F   int
+	Policy func(u core.Ticks) sim.Policy
+
+	// WantBranches are the Figure 1 branches that MUST appear among the
+	// processes of this execution.
+	WantBranches []inbac.Branch
+	// WantDecision is the required common decision.
+	WantDecision core.Value
+	// NeedsNBAC asserts the execution solves full NBAC.
+	NeedsNBAC bool
+}
+
+// Figure1Scenarios enumerates one execution per reachable region of the
+// Figure 1 state machine.
+func Figure1Scenarios() []Figure1Scenario {
+	return []Figure1Scenario{
+		{
+			Name: "nice: f correct acks, n votes -> decide AND", N: 5, F: 2,
+			Policy:       func(u core.Ticks) sim.Policy { return sched.Nice() },
+			WantBranches: []inbac.Branch{inbac.BranchFastDecide},
+			WantDecision: core.Commit, NeedsNBAC: true,
+		},
+		{
+			Name: "backup crash at U: ack missing -> propose AND(n votes) to cons", N: 5, F: 2,
+			Policy: func(u core.Ticks) sim.Policy {
+				return sched.Crashes(map[core.ProcessID]core.Ticks{1: u})
+			},
+			WantBranches: []inbac.Branch{inbac.BranchConsAND, inbac.BranchConsensusDecided},
+			WantDecision: core.Commit, NeedsNBAC: true,
+		},
+		{
+			Name: "a backup and a voter crash at 0: votes missing -> propose 0 to cons", N: 7, F: 2,
+			Policy: func(u core.Ticks) sim.Policy {
+				return sched.CrashAtStart(1, 7)
+			},
+			WantBranches: []inbac.Branch{inbac.BranchConsZero, inbac.BranchConsensusDecided},
+			WantDecision: core.Abort, NeedsNBAC: true,
+		},
+		{
+			Name: "ALL backups crash at 0: ask for help, then propose 0 to cons", N: 7, F: 2,
+			Policy: func(u core.Ticks) sim.Policy {
+				return sched.CrashAtStart(1, 2)
+			},
+			WantBranches: []inbac.Branch{inbac.BranchAskHelp, inbac.BranchHelpConsZero, inbac.BranchConsensusDecided},
+			WantDecision: core.Abort, NeedsNBAC: true,
+		},
+		{
+			Name: "acks delayed to one process: ask for more acks, then decide", N: 5, F: 1,
+			Policy: func(u core.Ticks) sim.Policy {
+				return sim.Policy{Delay: func(s, d core.ProcessID, at core.Ticks, nth int) core.Ticks {
+					if s == 1 && d == 4 {
+						return at + 8*u
+					}
+					return at + u
+				}}
+			},
+			WantBranches: []inbac.Branch{inbac.BranchAskHelp},
+			WantDecision: core.Commit, NeedsNBAC: true,
+		},
+	}
+}
+
+// Figure1Result is one scenario's observed path census.
+type Figure1Result struct {
+	Scenario Figure1Scenario
+	// Branches counts how many processes took each Figure 1 branch.
+	Branches map[inbac.Branch]int
+	Decision core.Value
+	NBAC     bool
+	// Missing lists the required branches that did not appear (empty on a
+	// successful reproduction).
+	Missing []inbac.Branch
+}
+
+// Figure1 reproduces the state machine: each scenario must exhibit its
+// branch set and decision.
+func Figure1() ([]Figure1Result, string) {
+	var results []Figure1Result
+	var t table
+	t.title("Figure 1 — INBAC state transition after 2U (branch census per scenario)")
+	for _, sc := range Figure1Scenarios() {
+		var mu sync.Mutex
+		branches := make(map[inbac.Branch]int)
+		factory := inbac.New(inbac.Options{PathHook: func(p core.ProcessID, b inbac.Branch) {
+			mu.Lock()
+			branches[b]++
+			mu.Unlock()
+		}})
+		r := sim.Run(sim.Config{N: sc.N, F: sc.F, New: factory, Policy: sc.Policy(sim.DefaultU)})
+		res := Figure1Result{Scenario: sc, Branches: branches, NBAC: r.SolvesNBAC()}
+		if v, ok := r.Decision(); ok {
+			res.Decision = v
+		}
+		for _, want := range sc.WantBranches {
+			if branches[want] == 0 {
+				res.Missing = append(res.Missing, want)
+			}
+		}
+		results = append(results, res)
+
+		t.row("%s (n=%d, f=%d)", sc.Name, sc.N, sc.F)
+		keys := make([]int, 0, len(branches))
+		for b := range branches {
+			keys = append(keys, int(b))
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			b := inbac.Branch(k)
+			t.row("    %-55s x%d", b, branches[b])
+		}
+		status := "ok"
+		if len(res.Missing) > 0 {
+			status = fmt.Sprintf("MISSING %v", res.Missing)
+		}
+		t.row("    decision=%v nbac=%v  [%s]", res.Decision, res.NBAC, status)
+		t.blank()
+	}
+	return results, t.String()
+}

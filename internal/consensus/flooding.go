@@ -1,0 +1,143 @@
+package consensus
+
+import (
+	"atomiccommit/internal/core"
+)
+
+// Flooding is a synchronous uniform consensus: f+1 timer-driven rounds of
+// flooding the set of votes seen so far, deciding the AND of everything seen
+// at the end of round f+1.
+//
+// In a crash-failure (synchronous) system it satisfies uniform agreement,
+// validity, and termination for ANY f <= n-1 (no majority needed): among the
+// f+1 rounds at least one is crash-free, after which all alive participants
+// hold identical sets, and nobody decides before the last round. In a
+// network-failure execution it still terminates (rounds are timer-driven)
+// and stays valid, but agreement may be violated — exactly the contract the
+// paper's synchronous NBAC protocols (1NBAC's cell (AVT, VT)) need from
+// their consensus module, in contrast to the indulgent Paxos-based module
+// which trades any-f termination for network-failure agreement.
+type Flooding struct {
+	env core.Env
+
+	engaged  bool
+	proposed bool
+	decided  bool
+	round    int
+	rounds   int
+
+	// seen[p] is the latest value learned from p (its proposal, ANDed
+	// conservatively if a process ever equivocated, which correct code
+	// never does).
+	seen map[core.ProcessID]core.Value
+}
+
+// MsgFlood carries the sender's current view: every (process, value) pair it
+// has seen, in a fixed-width slice indexed by process (entry 255 = unknown).
+type MsgFlood struct {
+	Round int
+	View  []uint8 // len n; 0, 1 or floodUnknown
+}
+
+// Kind implements core.Message.
+func (MsgFlood) Kind() string { return "cFLOOD" }
+
+const floodUnknown uint8 = 255
+
+// NewFlooding returns a fresh flooding consensus module.
+func NewFlooding() *Flooding {
+	return &Flooding{seen: make(map[core.ProcessID]core.Value)}
+}
+
+// Init implements core.Module.
+func (c *Flooding) Init(env core.Env) {
+	c.env = env
+	c.rounds = env.F() + 1
+}
+
+// Propose implements core.Module.
+func (c *Flooding) Propose(v core.Value) {
+	if c.proposed || c.decided {
+		return
+	}
+	c.proposed = true
+	c.seen[c.env.ID()] = v
+	c.engage()
+}
+
+func (c *Flooding) engage() {
+	if c.engaged {
+		return
+	}
+	c.engaged = true
+	c.round = 1
+	c.broadcastView()
+	c.env.SetTimerAt(c.env.Now()+c.env.U(), c.round)
+}
+
+func (c *Flooding) view() []uint8 {
+	v := make([]uint8, c.env.N())
+	for i := range v {
+		v[i] = floodUnknown
+	}
+	for p, val := range c.seen {
+		v[p-1] = uint8(val)
+	}
+	return v
+}
+
+func (c *Flooding) broadcastView() {
+	m := MsgFlood{Round: c.round, View: c.view()}
+	for i := 1; i <= c.env.N(); i++ {
+		if core.ProcessID(i) != c.env.ID() {
+			c.env.Send(core.ProcessID(i), m)
+		}
+	}
+}
+
+// Deliver implements core.Module.
+func (c *Flooding) Deliver(from core.ProcessID, m core.Message) {
+	if c.decided {
+		return
+	}
+	msg, ok := m.(MsgFlood)
+	if !ok {
+		return
+	}
+	// Engage lazily: a participant that never proposes still relays views
+	// so the crash-free-round argument covers it (it simply contributes no
+	// value of its own).
+	c.engage()
+	for i, b := range msg.View {
+		if b == floodUnknown {
+			continue
+		}
+		p := core.ProcessID(i + 1)
+		if prev, ok := c.seen[p]; ok {
+			c.seen[p] = prev.And(core.Value(b))
+		} else {
+			c.seen[p] = core.Value(b)
+		}
+	}
+}
+
+// Timeout implements core.Module: end of round `tag`.
+func (c *Flooding) Timeout(tag int) {
+	if c.decided || tag != c.round {
+		return
+	}
+	if c.round >= c.rounds {
+		c.decided = true
+		// Decide the AND of every value seen; with mixed proposals this is
+		// 0, which some process proposed, so consensus validity holds.
+		v := core.Commit
+		for _, s := range c.seen {
+			v = v.And(s)
+		}
+		c.env.Decide(v)
+		return
+	}
+	c.round++
+	c.broadcastView()
+	c.env.SetTimerAt(c.env.Now()+c.env.U(), c.round)
+}

@@ -1,0 +1,133 @@
+// Package core defines the process model shared by every protocol in this
+// repository: the event-handler style of the paper's appendix pseudocode
+// (Cachin, Guerraoui & Rodrigues, "Introduction to Reliable and Secure
+// Distributed Programming").
+//
+// A protocol is a Module. A Module runs on top of an Env, which provides the
+// abstractions the paper's pseudocode "Uses":
+//
+//   - PerfectPointToPointLinks  ->  Env.Send / Module.Deliver
+//   - Timer                     ->  Env.SetTimerAt / Module.Timeout
+//   - sub-modules (e.g. IndulgentUniformConsensus inside INBAC)
+//     ->  Env.Register, which routes messages and timers by instance path
+//
+// The same Module code runs unchanged on the deterministic discrete-event
+// simulator (internal/sim) used by the complexity experiments and on the live
+// goroutine runtime (internal/live) used by the public commit package.
+package core
+
+import "fmt"
+
+// ProcessID identifies a process. Processes are numbered 1..n exactly as in
+// the paper (P1, P2, ..., Pn); 0 is not a valid ProcessID.
+type ProcessID int
+
+// String renders the paper's name for the process, e.g. "P3".
+func (p ProcessID) String() string { return fmt.Sprintf("P%d", int(p)) }
+
+// Value is a vote or a decision: 0 (abort / "no") or 1 (commit / "yes").
+type Value uint8
+
+// The two values of the atomic commit problem (paper Definition 1).
+const (
+	Abort  Value = 0 // vote "no" / decision abort
+	Commit Value = 1 // vote "yes" / decision commit
+)
+
+// And returns the logical AND of two votes, the combining operator every
+// protocol in the paper uses ("AND of all n votes").
+func (v Value) And(w Value) Value {
+	if v == Commit && w == Commit {
+		return Commit
+	}
+	return Abort
+}
+
+// Valid reports whether v is one of the two legal values.
+func (v Value) Valid() bool { return v == Abort || v == Commit }
+
+func (v Value) String() string {
+	if v == Commit {
+		return "commit"
+	}
+	return "abort"
+}
+
+// Ticks is virtual (simulator) or scaled real (live runtime) time. The known
+// upper bound U on message transmission delay (paper section 2.2) is
+// expressed in ticks; protocols schedule timers at multiples of U.
+type Ticks int64
+
+// Message is a protocol message. Concrete types are defined by each protocol
+// package. Implementations must be self-contained values (no pointers into
+// protocol state) because the live runtime serializes them with encoding/gob
+// and the simulator may deliver them arbitrarily later.
+type Message interface {
+	// Kind returns a short, stable tag used in traces, e.g. "V", "C", "HELP".
+	Kind() string
+}
+
+// Module is a protocol instance at one process. The runtime guarantees that
+// all four methods are invoked sequentially (never concurrently) at a given
+// process, mirroring the paper's model where a local step is atomic.
+type Module interface {
+	// Init attaches the environment. It is called exactly once, before any
+	// other method, with the process-local view of the system.
+	Init(env Env)
+
+	// Propose delivers the event <Propose | v>: the process's vote (paper
+	// Definition 1). Called at most once, at local time zero.
+	Propose(v Value)
+
+	// Deliver delivers the event <pl, Deliver | from, m>.
+	Deliver(from ProcessID, m Message)
+
+	// Timeout delivers the event <timer, Timeout> for the timer identified
+	// by tag. Tags are module-private.
+	Timeout(tag int)
+}
+
+// Env is the process-local view of the distributed system given to a Module.
+type Env interface {
+	// ID returns this process's identity (1..n).
+	ID() ProcessID
+	// N returns the number of processes in the system.
+	N() int
+	// F returns the maximum number of processes that may crash
+	// (1 <= f <= n-1, paper section 2.1).
+	F() int
+	// U returns the known upper bound on message transmission delay in
+	// ticks (paper section 2.2).
+	U() Ticks
+	// Now returns the current local time in ticks. Tick 0 is the instant of
+	// Propose.
+	Now() Ticks
+
+	// Send transmits m to process "to" over a perfect point-to-point link:
+	// no loss, no duplication, no corruption; eventual delivery. A message
+	// to self is delivered locally and, per the paper's footnote 10, does
+	// not count as a network message and arrives immediately.
+	Send(to ProcessID, m Message)
+
+	// SetTimerAt schedules Timeout(tag) at absolute time t (ticks). If t is
+	// not after Now, the timeout fires as soon as possible. Several timers
+	// may be pending; each firing carries its tag. At equal times, message
+	// deliveries are handled before timeouts (paper Appendix A, remark (b)).
+	SetTimerAt(t Ticks, tag int)
+
+	// Decide outputs the decision event <Decide | v> for this module. A
+	// module must decide at most once; the runtime records a violation of
+	// the integrity property otherwise (paper footnote 4).
+	Decide(v Value)
+
+	// Register attaches a child module under the given instance name (for
+	// example INBAC registers its IndulgentUniformConsensus as "iuc"). The
+	// child is initialized immediately with its own Env whose Send/SetTimerAt
+	// are routed independently of the parent's and whose Decide invokes
+	// onDecide on the parent instead of terminating the process. Register
+	// must be called during Init, once per name.
+	Register(name string, child Module, onDecide func(Value))
+}
+
+// NoCrash is a sentinel crash time meaning "the process is correct".
+const NoCrash Ticks = 1<<62 - 1

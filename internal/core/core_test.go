@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func vclamp(b byte) Value {
+	if b%2 == 0 {
+		return Abort
+	}
+	return Commit
+}
+
+// TestAndProperties checks that the vote-combining operator is a proper
+// meet-semilattice: commutative, associative, idempotent, with Commit as
+// identity and Abort absorbing — the algebra every protocol's "AND of all n
+// votes" relies on.
+func TestAndProperties(t *testing.T) {
+	if err := quick.Check(func(a, b byte) bool {
+		x, y := vclamp(a), vclamp(b)
+		return x.And(y) == y.And(x)
+	}, nil); err != nil {
+		t.Error("commutativity:", err)
+	}
+	if err := quick.Check(func(a, b, c byte) bool {
+		x, y, z := vclamp(a), vclamp(b), vclamp(c)
+		return x.And(y).And(z) == x.And(y.And(z))
+	}, nil); err != nil {
+		t.Error("associativity:", err)
+	}
+	if err := quick.Check(func(a byte) bool {
+		x := vclamp(a)
+		return x.And(x) == x && x.And(Commit) == x && x.And(Abort) == Abort
+	}, nil); err != nil {
+		t.Error("idempotence/identity/absorption:", err)
+	}
+}
+
+func TestValueValidity(t *testing.T) {
+	if !Abort.Valid() || !Commit.Valid() || Value(2).Valid() {
+		t.Error("Valid misclassifies")
+	}
+	if Abort.String() != "abort" || Commit.String() != "commit" {
+		t.Error("String misrenders")
+	}
+}
+
+func TestProcessIDString(t *testing.T) {
+	if ProcessID(3).String() != "P3" {
+		t.Errorf("got %s", ProcessID(3))
+	}
+}

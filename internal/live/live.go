@@ -1,0 +1,248 @@
+// Package live runs the same core.Module protocol code the simulator runs,
+// but over real time and real transports: one goroutine per process, timers
+// from the standard library, and pluggable message delivery (in-memory
+// channels or TCP+gob).
+//
+// Time mapping: one core.Ticks equals one millisecond. Env.U() is the
+// configured timeout unit (the "known upper bound on message delay" the
+// protocols' timers are multiples of); choose it comfortably above the
+// actual network round-trip, exactly as a practitioner would configure a
+// commit timeout — the paper's indulgent protocols stay correct even when
+// the bound is violated, which is their point.
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"atomiccommit/internal/core"
+)
+
+// TickDuration is the real-time length of one core.Ticks.
+const TickDuration = time.Millisecond
+
+// Envelope is the wire unit: a protocol message routed to a module instance
+// of one transaction at one process.
+type Envelope struct {
+	TxID string
+	From core.ProcessID
+	To   core.ProcessID
+	Path string // module instance path ("" = root)
+	Msg  core.Message
+}
+
+// Transport delivers envelopes between processes. Implementations must be
+// safe for concurrent Send and must not drop messages (perfect links; the
+// paper's channels do not lose messages — TCP and in-memory channels both
+// qualify).
+type Transport interface {
+	// Send transmits e to e.To. It may block briefly but must not wait for
+	// the receiver to process the message.
+	Send(e Envelope) error
+	// SetHandler installs the delivery callback. Must be called before any
+	// Send reaches this process.
+	SetHandler(func(Envelope))
+	// Close releases resources.
+	Close() error
+}
+
+// Instance is one process's run of one commit protocol instance.
+type Instance struct {
+	id   core.ProcessID
+	n, f int
+	u    core.Ticks
+	txID string
+
+	tr    Transport // shared per-process transport (routes by TxID)
+	sendE func(Envelope) error
+
+	mu      sync.Mutex
+	started time.Time
+	running bool
+	pending []Envelope // deliveries that arrived before Start
+	modules map[string]core.Module
+	timers  []*time.Timer
+	closed  bool
+
+	decideOnce sync.Once
+	done       chan struct{}
+	outcome    core.Value
+}
+
+// Config parameterizes an Instance.
+type Config struct {
+	ID   core.ProcessID
+	N, F int
+	// U is the timeout unit in ticks (milliseconds).
+	U    core.Ticks
+	TxID string
+	// New builds the root protocol module.
+	New func(id core.ProcessID) core.Module
+	// Send transmits an envelope (bound to the process's transport).
+	Send func(Envelope) error
+}
+
+// NewInstance builds (but does not start) an instance.
+func NewInstance(cfg Config) *Instance {
+	inst := &Instance{
+		id: cfg.ID, n: cfg.N, f: cfg.F, u: cfg.U, txID: cfg.TxID,
+		sendE:   cfg.Send,
+		modules: make(map[string]core.Module),
+		done:    make(chan struct{}),
+	}
+	root := cfg.New(cfg.ID)
+	inst.modules[""] = root
+	return inst
+}
+
+// Start initializes the module tree, proposes the vote, and flushes any
+// messages that raced ahead of it. It must be called exactly once.
+func (inst *Instance) Start(vote core.Value) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	inst.started = time.Now()
+	root := inst.modules[""]
+	root.Init(&liveEnv{inst: inst, path: ""})
+	inst.running = true
+	root.Propose(vote)
+	for _, e := range inst.pending {
+		if m, ok := inst.modules[e.Path]; ok {
+			m.Deliver(e.From, e.Msg)
+		}
+	}
+	inst.pending = nil
+}
+
+// Deliver routes an incoming envelope to its module instance. Messages that
+// arrive before Start are buffered (perfect links lose nothing); unknown
+// module paths after Start cannot occur because modules register their whole
+// tree in Init (the simulator's stricter kernel asserts this).
+func (inst *Instance) Deliver(e Envelope) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.closed {
+		return
+	}
+	if !inst.running {
+		inst.pending = append(inst.pending, e)
+		return
+	}
+	m, ok := inst.modules[e.Path]
+	if !ok {
+		return
+	}
+	m.Deliver(e.From, e.Msg)
+}
+
+// Done is closed once the root decision is available; any number of
+// goroutines may wait on it.
+func (inst *Instance) Done() <-chan struct{} { return inst.done }
+
+// Outcome returns the decision; valid only after Done is closed.
+func (inst *Instance) Outcome() core.Value { return inst.outcome }
+
+// Wait blocks until the decision or ctx expiry.
+func (inst *Instance) Wait(ctx context.Context) (core.Value, error) {
+	select {
+	case <-inst.done:
+		return inst.outcome, nil
+	case <-ctx.Done():
+		return 0, fmt.Errorf("commit instance %s at %v: %w", inst.txID, inst.id, ctx.Err())
+	}
+}
+
+// Close cancels outstanding timers. Pending callbacks become no-ops.
+func (inst *Instance) Close() {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	inst.closed = true
+	for _, t := range inst.timers {
+		t.Stop()
+	}
+}
+
+// now returns elapsed virtual time in ticks (milliseconds since Start).
+func (inst *Instance) now() core.Ticks {
+	return core.Ticks(time.Since(inst.started) / TickDuration)
+}
+
+// liveEnv implements core.Env over an Instance.
+type liveEnv struct {
+	inst *Instance
+	path string
+}
+
+func (e *liveEnv) ID() core.ProcessID { return e.inst.id }
+func (e *liveEnv) N() int             { return e.inst.n }
+func (e *liveEnv) F() int             { return e.inst.f }
+func (e *liveEnv) U() core.Ticks      { return e.inst.u }
+func (e *liveEnv) Now() core.Ticks    { return e.inst.now() }
+
+func (e *liveEnv) Send(to core.ProcessID, m core.Message) {
+	env := Envelope{TxID: e.inst.txID, From: e.inst.id, To: to, Path: e.path, Msg: m}
+	if to == e.inst.id {
+		// Local delivery, asynchronously to respect the event-handler
+		// atomicity contract (we are inside a handler holding the lock).
+		go e.inst.Deliver(env)
+		return
+	}
+	// Transport errors mean a peer is unreachable; the protocols treat
+	// silence as failure, which is exactly the crash/partition semantics.
+	_ = e.inst.sendE(env)
+}
+
+// SetTimerAt is only ever called from inside a handler, which already holds
+// inst.mu — so it must not lock (the timer callback, on its own goroutine,
+// does).
+func (e *liveEnv) SetTimerAt(t core.Ticks, tag int) {
+	d := time.Duration(t)*TickDuration - time.Since(e.inst.started)
+	if d < 0 {
+		d = 0
+	}
+	path := e.path
+	timer := time.AfterFunc(d, func() {
+		e.inst.mu.Lock()
+		defer e.inst.mu.Unlock()
+		if e.inst.closed {
+			return
+		}
+		if m, ok := e.inst.modules[path]; ok {
+			m.Timeout(tag)
+		}
+	})
+	e.inst.timers = append(e.inst.timers, timer)
+}
+
+func (e *liveEnv) Decide(v core.Value) {
+	if e.path != "" {
+		return // child decisions are routed via Register's callback
+	}
+	e.inst.decideOnce.Do(func() {
+		e.inst.outcome = v
+		close(e.inst.done)
+	})
+}
+
+// Register is only ever called from inside Init/handlers (inst.mu held).
+func (e *liveEnv) Register(name string, child core.Module, onDecide func(core.Value)) {
+	path := name
+	if e.path != "" {
+		path = e.path + "/" + name
+	}
+	e.inst.modules[path] = child
+	child.Init(&childEnv{liveEnv: liveEnv{inst: e.inst, path: path}, onDecide: onDecide})
+}
+
+// childEnv overrides Decide to invoke the parent's callback.
+type childEnv struct {
+	liveEnv
+	onDecide func(core.Value)
+}
+
+func (e *childEnv) Decide(v core.Value) { e.onDecide(v) }
+
+// ErrClosed is returned by transports after Close.
+var ErrClosed = errors.New("live: transport closed")

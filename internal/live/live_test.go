@@ -1,0 +1,215 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"atomiccommit/internal/core"
+)
+
+// echoMsg is the test protocol's message.
+type echoMsg struct{ V core.Value }
+
+func (echoMsg) Kind() string { return "ECHO" }
+
+func init() { RegisterMessage(echoMsg{}) }
+
+// echo broadcasts its vote and decides the AND of everything seen at its
+// U-timer — a minimal protocol exercising Send, timers, and Decide.
+type echo struct {
+	env core.Env
+	and core.Value
+}
+
+func (p *echo) Init(env core.Env) { p.env = env; p.and = core.Commit }
+func (p *echo) Propose(v core.Value) {
+	p.and = p.and.And(v)
+	for i := 1; i <= p.env.N(); i++ {
+		p.env.Send(core.ProcessID(i), echoMsg{V: v})
+	}
+	p.env.SetTimerAt(p.env.U(), 1)
+}
+func (p *echo) Deliver(from core.ProcessID, m core.Message) { p.and = p.and.And(m.(echoMsg).V) }
+func (p *echo) Timeout(int)                                 { p.env.Decide(p.and) }
+
+func runMeshInstances(t *testing.T, n int, votes []core.Value) []*Instance {
+	t.Helper()
+	mesh := NewMesh()
+	insts := make([]*Instance, n)
+	for i := 1; i <= n; i++ {
+		ep := mesh.Endpoint(core.ProcessID(i))
+		inst := NewInstance(Config{
+			ID: core.ProcessID(i), N: n, F: 1, U: 30, TxID: "t",
+			New:  func(core.ProcessID) core.Module { return &echo{} },
+			Send: ep.Send,
+		})
+		insts[i-1] = inst
+		ep.SetHandler(inst.Deliver)
+	}
+	for i, inst := range insts {
+		inst.Start(votes[i])
+	}
+	return insts
+}
+
+func TestMeshInstanceDecides(t *testing.T) {
+	n := 4
+	votes := []core.Value{1, 1, 1, 1}
+	insts := runMeshInstances(t, n, votes)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i, inst := range insts {
+		v, err := inst.Wait(ctx)
+		if err != nil || v != core.Commit {
+			t.Fatalf("instance %d: v=%v err=%v", i+1, v, err)
+		}
+	}
+}
+
+func TestMeshAbortVote(t *testing.T) {
+	votes := []core.Value{1, 0, 1}
+	insts := runMeshInstances(t, 3, votes)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i, inst := range insts {
+		v, err := inst.Wait(ctx)
+		if err != nil || v != core.Abort {
+			t.Fatalf("instance %d: v=%v err=%v", i+1, v, err)
+		}
+	}
+}
+
+func TestInstancePreStartBuffering(t *testing.T) {
+	mesh := NewMesh()
+	ep := mesh.Endpoint(1)
+	inst := NewInstance(Config{ID: 1, N: 1, F: 0, U: 10, TxID: "t",
+		New:  func(core.ProcessID) core.Module { return &echo{} },
+		Send: ep.Send})
+	// Deliver before Start: must buffer, not panic.
+	inst.Deliver(Envelope{TxID: "t", From: 1, To: 1, Msg: echoMsg{V: core.Abort}})
+	inst.Start(core.Commit)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	v, err := inst.Wait(ctx)
+	if err != nil || v != core.Abort {
+		t.Fatalf("buffered pre-start message must count: v=%v err=%v", v, err)
+	}
+}
+
+func TestInstanceWaitContextExpiry(t *testing.T) {
+	inst := NewInstance(Config{ID: 1, N: 2, F: 1, U: 1000, TxID: "t",
+		New:  func(core.ProcessID) core.Module { return &mute{} },
+		Send: func(Envelope) error { return nil }})
+	inst.Start(core.Commit)
+	defer inst.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := inst.Wait(ctx); err == nil {
+		t.Fatal("expected context expiry")
+	}
+}
+
+// mute never decides.
+type mute struct{}
+
+func (*mute) Init(core.Env)                        {}
+func (*mute) Propose(core.Value)                   {}
+func (*mute) Deliver(core.ProcessID, core.Message) {}
+func (*mute) Timeout(int)                          {}
+
+func TestMeshDropAndLatency(t *testing.T) {
+	mesh := NewMesh()
+	var mu sync.Mutex
+	var got []core.ProcessID
+	for i := 1; i <= 3; i++ {
+		id := core.ProcessID(i)
+		mesh.Endpoint(id).SetHandler(func(e Envelope) {
+			mu.Lock()
+			got = append(got, e.To)
+			mu.Unlock()
+		})
+	}
+	mesh.Drop = func(e Envelope) bool { return e.To == 3 }
+	ep := mesh.Endpoint(1)
+	for i := 2; i <= 3; i++ {
+		if err := ep.Send(Envelope{From: 1, To: core.ProcessID(i), Msg: echoMsg{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("expected only P2 delivery, got %v", got)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	// Bind P1 first to learn its port, then P2 with the full list.
+	t1, err := NewTCP(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	addrs[0] = t1.Addr()
+	t2, err := NewTCP(2, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+	addrs[1] = t2.Addr()
+	// P1 only dials, so it can know P2's real port via a fresh transport
+	// address map: rebuild P1 with the final list.
+	t1.Close()
+	t1, err = NewTCP(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+
+	recv := make(chan Envelope, 1)
+	t2.SetHandler(func(e Envelope) { recv <- e })
+	if err := t1.Send(Envelope{TxID: "x", From: 1, To: 2, Msg: echoMsg{V: core.Commit}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-recv:
+		if e.TxID != "x" || e.Msg.(echoMsg).V != core.Commit {
+			t.Fatalf("bad envelope %+v", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for TCP delivery")
+	}
+}
+
+func TestTCPSendToDeadPeerIsSilent(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:1"} // P2 unreachable
+	tr, err := NewTCP(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.Send(Envelope{From: 1, To: 2, Msg: echoMsg{}}); err != nil {
+		t.Fatalf("unreachable peers must look crashed (silent), got %v", err)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	lat := Jitter(time.Millisecond, 4*time.Millisecond, 42)
+	for i := 0; i < 100; i++ {
+		d := lat(Envelope{})
+		if d < time.Millisecond || d >= 5*time.Millisecond {
+			t.Fatalf("latency %v out of [1ms, 5ms)", d)
+		}
+	}
+}
+
+func ExampleJitter() {
+	lat := Jitter(time.Millisecond, 0, 1)
+	fmt.Println(lat(Envelope{}))
+	// Output: 1ms
+}

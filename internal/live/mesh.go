@@ -1,0 +1,85 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"atomiccommit/internal/core"
+)
+
+// Mesh is an in-memory network connecting n processes in one address space:
+// the transport behind the public commit.Cluster. Latency and partitions are
+// injectable, which the failure examples and tests use.
+type Mesh struct {
+	mu       sync.RWMutex
+	handlers map[core.ProcessID]func(Envelope)
+
+	// Latency returns the artificial one-way latency of an envelope; nil
+	// means deliver as fast as the scheduler allows.
+	Latency func(e Envelope) time.Duration
+	// Drop suppresses delivery (a crashed or partitioned destination); the
+	// perfect-links assumption is the caller's responsibility, exactly as
+	// with the simulator's adversary.
+	Drop func(e Envelope) bool
+}
+
+// NewMesh returns an empty mesh.
+func NewMesh() *Mesh {
+	return &Mesh{handlers: make(map[core.ProcessID]func(Envelope))}
+}
+
+// Jitter returns a Latency function uniform in [base, base+spread).
+func Jitter(base, spread time.Duration, seed int64) func(Envelope) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return func(Envelope) time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		if spread <= 0 {
+			return base
+		}
+		return base + time.Duration(rng.Int63n(int64(spread)))
+	}
+}
+
+// Endpoint returns the transport of process id.
+func (m *Mesh) Endpoint(id core.ProcessID) Transport {
+	return &meshEndpoint{mesh: m, id: id}
+}
+
+type meshEndpoint struct {
+	mesh *Mesh
+	id   core.ProcessID
+}
+
+func (t *meshEndpoint) SetHandler(h func(Envelope)) {
+	t.mesh.mu.Lock()
+	defer t.mesh.mu.Unlock()
+	t.mesh.handlers[t.id] = h
+}
+
+func (t *meshEndpoint) Send(e Envelope) error {
+	t.mesh.mu.RLock()
+	h := t.mesh.handlers[e.To]
+	drop := t.mesh.Drop
+	lat := t.mesh.Latency
+	t.mesh.mu.RUnlock()
+	if h == nil || (drop != nil && drop(e)) {
+		return nil // silence models a crashed/partitioned peer
+	}
+	deliver := func() { h(e) }
+	if lat != nil {
+		time.AfterFunc(lat(e), deliver)
+	} else {
+		go deliver()
+	}
+	return nil
+}
+
+func (t *meshEndpoint) Close() error {
+	t.mesh.mu.Lock()
+	defer t.mesh.mu.Unlock()
+	delete(t.mesh.handlers, t.id)
+	return nil
+}

@@ -1,0 +1,206 @@
+package live
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"atomiccommit/internal/core"
+)
+
+// RegisterMessage makes a concrete message type encodable inside an
+// Envelope (gob needs every interface implementation registered once). The
+// public commit package registers every protocol's messages at init.
+func RegisterMessage(m core.Message) { gob.Register(m) }
+
+// TCP is the cross-address-space transport: one listener per process, lazy
+// dialing with bounded retries, gob-encoded envelopes. An unreachable peer
+// behaves as crashed (sends are dropped silently), which is precisely the
+// failure model the protocols handle.
+type TCP struct {
+	id    core.ProcessID
+	addrs map[core.ProcessID]string
+
+	ln      net.Listener
+	handler func(Envelope)
+
+	mu      sync.Mutex
+	conns   map[core.ProcessID]*tcpConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// NewTCP starts a transport for process id: addrs[i-1] is Pi's listen
+// address. The listener is bound immediately; handlers may be set later but
+// before peers start sending.
+func NewTCP(id core.ProcessID, addrs []string) (*TCP, error) {
+	m := make(map[core.ProcessID]string, len(addrs))
+	for i, a := range addrs {
+		m[core.ProcessID(i+1)] = a
+	}
+	ln, err := net.Listen("tcp", m[id])
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %s: %w", m[id], err)
+	}
+	t := &TCP{id: id, addrs: m, ln: ln,
+		conns:   make(map[core.ProcessID]*tcpConn),
+		inbound: make(map[net.Conn]struct{})}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" ephemeral ports).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetHandler implements Transport.
+func (t *TCP) SetHandler(h func(Envelope)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			c.Close()
+			return
+		}
+		t.inbound[c] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+func (t *TCP) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, c)
+		t.mu.Unlock()
+		c.Close()
+	}()
+	dec := gob.NewDecoder(c)
+	for {
+		var e Envelope
+		if err := dec.Decode(&e); err != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			h(e)
+		}
+	}
+}
+
+// Send implements Transport: lazy connection with a few retries, then give
+// up silently (an unreachable peer is indistinguishable from a crashed one,
+// and that is exactly what the protocols tolerate).
+func (t *TCP) Send(e Envelope) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	conn := t.conns[e.To]
+	t.mu.Unlock()
+
+	if conn == nil {
+		c, err := t.dial(e.To)
+		if err != nil {
+			return nil // peer down: silence, not an error
+		}
+		conn = c
+	}
+	conn.mu.Lock()
+	err := conn.enc.Encode(&e)
+	conn.mu.Unlock()
+	if err != nil {
+		// Connection broke: forget it so a future send redials.
+		t.mu.Lock()
+		if t.conns[e.To] == conn {
+			delete(t.conns, e.To)
+		}
+		t.mu.Unlock()
+		conn.c.Close()
+	}
+	return nil
+}
+
+func (t *TCP) dial(to core.ProcessID) (*tcpConn, error) {
+	addr, ok := t.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("live: unknown peer %v", to)
+	}
+	var c net.Conn
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		c, err = net.DialTimeout("tcp", addr, 500*time.Millisecond)
+		if err == nil {
+			break
+		}
+		time.Sleep(time.Duration(20*(attempt+1)) * time.Millisecond)
+	}
+	if err != nil {
+		return nil, err
+	}
+	conn := &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		c.Close()
+		return existing, nil
+	}
+	t.conns[to] = conn
+	return conn, nil
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = make(map[core.ProcessID]*tcpConn)
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		inbound = append(inbound, c)
+	}
+	t.mu.Unlock()
+
+	t.ln.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,232 @@
+// Package anbac implements aNBAC (paper Appendix E.3), the message-optimal
+// protocol for the cell (AV, A): agreement and validity in every
+// crash-failure execution, agreement in every network-failure execution,
+// with n-1+f messages in every nice execution.
+//
+// aNBAC runs the (n-1+f)NBAC chain for the commit path and overlays the
+// 0NBAC-style acknowledgement choreography ([V,0] / [B,0] / [ACK]) for the
+// abort path: a process may only decide 0 after every process acknowledged
+// having seen the zero, and a process that saw a zero (or missed an
+// acknowledgement) raises the noop flag, which silences the chain's commit
+// decision. Termination is sacrificed: with failures a process may stay
+// undecided forever, which the cell permits.
+//
+// Timer convention: paper clock k -> (k-1)*U, tick 0 = Propose.
+package anbac
+
+import (
+	"atomiccommit/internal/core"
+)
+
+// Message types.
+type (
+	// MsgVal is the chain aggregate (identical role to chainnbac's).
+	MsgVal struct{ V core.Value }
+	// MsgV0 announces a 0 vote (overlay).
+	MsgV0 struct{}
+	// MsgB0 is the second-round zero announcement from 1-voters (overlay).
+	MsgB0 struct{}
+	// MsgAck acknowledges a MsgV0 (B=false) or MsgB0 (B=true).
+	MsgAck struct{ B bool }
+)
+
+func (MsgVal) Kind() string { return "VAL" }
+func (MsgV0) Kind() string  { return "V0" }
+func (MsgB0) Kind() string  { return "B0" }
+func (m MsgAck) Kind() string {
+	if m.B {
+		return "ACKB"
+	}
+	return "ACKV"
+}
+
+// Timer tags.
+const (
+	tagPhase1 = 1 // chain
+	tagPhase2 = 2 // chain
+	tagPhase3 = 3 // chain noop deadline
+	tagOver0  = 4 // overlay timer0, first firing
+	tagOver1  = 5 // overlay timer0, second firing
+)
+
+// ANBAC is one process's instance.
+type ANBAC struct {
+	env core.Env
+
+	// Chain state (as in chainnbac).
+	decision    core.Value
+	decided     bool
+	delivered   bool
+	phase       int
+	zeroFlooded bool
+
+	// Overlay state (as in zeronbac).
+	vote        core.Value
+	deliveredV  bool
+	collectionV map[core.ProcessID]bool
+	collectionB map[core.ProcessID]bool
+	noop        bool
+	phase0      int
+}
+
+// New returns an aNBAC factory.
+func New() func(core.ProcessID) core.Module {
+	return func(core.ProcessID) core.Module { return &ANBAC{} }
+}
+
+// Init implements core.Module.
+func (p *ANBAC) Init(env core.Env) {
+	p.env = env
+	p.decision = core.Commit
+	p.collectionV = make(map[core.ProcessID]bool)
+	p.collectionB = make(map[core.ProcessID]bool)
+}
+
+func (p *ANBAC) i() int { return int(p.env.ID()) }
+func (p *ANBAC) n() int { return p.env.N() }
+func (p *ANBAC) f() int { return p.env.F() }
+
+func (p *ANBAC) succ() core.ProcessID { return core.ProcessID(p.i()%p.n() + 1) }
+func (p *ANBAC) pred() core.ProcessID { return core.ProcessID((p.i()-2+p.n())%p.n() + 1) }
+
+func (p *ANBAC) at(paperTime int) core.Ticks { return core.Ticks(paperTime-1) * p.env.U() }
+
+// Propose implements core.Module.
+func (p *ANBAC) Propose(v core.Value) {
+	p.decision = p.decision.And(v)
+	p.vote = v
+	// Chain part.
+	if p.i() == 1 {
+		p.env.Send(2, MsgVal{V: p.decision})
+		p.env.SetTimerAt(p.at(p.n()+1), tagPhase2)
+		p.phase = 2
+	} else {
+		p.env.SetTimerAt(p.at(p.i()), tagPhase1)
+		p.phase = 1
+	}
+	// Overlay part.
+	if v == core.Abort {
+		for q := 1; q <= p.n(); q++ {
+			p.env.Send(core.ProcessID(q), MsgV0{})
+		}
+		p.env.SetTimerAt(p.at(3), tagOver0)
+	} else {
+		p.env.SetTimerAt(p.at(2), tagOver0)
+	}
+}
+
+// Deliver implements core.Module.
+func (p *ANBAC) Deliver(from core.ProcessID, m core.Message) {
+	switch msg := m.(type) {
+	case MsgV0:
+		p.decision = core.Abort
+		p.deliveredV = true
+		p.env.Send(from, MsgAck{B: false})
+	case MsgB0:
+		p.decision = core.Abort
+		p.env.Send(from, MsgAck{B: true})
+	case MsgAck:
+		if msg.B {
+			p.collectionB[from] = true
+		} else {
+			p.collectionV[from] = true
+		}
+	case MsgVal:
+		p.decision = p.decision.And(msg.V)
+		if p.phase <= 2 {
+			if from == p.pred() {
+				p.delivered = true
+			}
+		} else if !p.decided && msg.V == core.Abort {
+			p.floodZero()
+		}
+	}
+}
+
+func (p *ANBAC) floodZero() {
+	if p.zeroFlooded {
+		return
+	}
+	p.zeroFlooded = true
+	for q := 1; q <= p.n(); q++ {
+		if core.ProcessID(q) != p.env.ID() {
+			p.env.Send(core.ProcessID(q), MsgVal{V: core.Abort})
+		}
+	}
+}
+
+// Timeout implements core.Module.
+func (p *ANBAC) Timeout(tag int) {
+	switch tag {
+	case tagPhase1:
+		if p.phase != 1 {
+			return
+		}
+		if !p.delivered {
+			p.decision = core.Abort
+		}
+		if p.decision == core.Commit {
+			p.env.Send(p.succ(), MsgVal{V: p.decision})
+		} else if p.i() == p.n() {
+			p.floodZero()
+		}
+		p.delivered = false
+		if p.i() >= p.f()+1 {
+			p.env.SetTimerAt(p.at(p.n()+2*p.f()+1), tagPhase3)
+			p.phase = 3
+		} else {
+			p.env.SetTimerAt(p.at(p.n()+p.i()), tagPhase2)
+			p.phase = 2
+		}
+	case tagPhase2:
+		if p.phase != 2 {
+			return
+		}
+		if !p.delivered {
+			p.decision = core.Abort
+		}
+		if p.decision == core.Commit && p.i() != p.f() {
+			p.env.Send(p.succ(), MsgVal{V: p.decision})
+		}
+		if p.decision == core.Abort {
+			p.floodZero()
+		}
+		p.delivered = false
+		p.env.SetTimerAt(p.at(p.n()+2*p.f()+1), tagPhase3)
+		p.phase = 3
+	case tagPhase3:
+		if p.phase != 3 || p.decided {
+			return
+		}
+		if p.decision == core.Commit && !p.noop {
+			p.decided = true
+			p.env.Decide(core.Commit)
+		}
+	case tagOver0:
+		switch {
+		case p.vote == core.Commit && p.deliveredV && p.phase0 == 0:
+			// Saw a zero: announce it and wait for everybody's ack.
+			for q := 1; q <= p.n(); q++ {
+				p.env.Send(core.ProcessID(q), MsgB0{})
+			}
+			p.env.SetTimerAt(p.at(4), tagOver1)
+			p.phase0 = 1
+		case p.vote == core.Abort:
+			if len(p.collectionV) == p.n() && !p.decided {
+				p.decided = true
+				p.env.Decide(core.Abort)
+			} else {
+				p.noop = true
+			}
+		}
+	case tagOver1:
+		if p.vote == core.Commit && p.deliveredV && p.phase0 == 1 {
+			if len(p.collectionB) == p.n() && !p.decided {
+				p.decided = true
+				p.env.Decide(core.Abort)
+			} else {
+				p.noop = true
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package anbac
+
+import (
+	"testing"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/sched"
+	"atomiccommit/internal/sim"
+)
+
+const u = sim.DefaultU
+
+func TestNiceExecution(t *testing.T) {
+	for _, nf := range [][2]int{{3, 1}, {5, 2}, {6, 5}} {
+		n, f := nf[0], nf[1]
+		r := sim.Run(sim.Config{N: n, F: f, New: New()})
+		if !r.SolvesNBAC() {
+			t.Fatalf("n=%d f=%d: %v", n, f, r)
+		}
+		if r.MessagesToDecide != n-1+f {
+			t.Fatalf("n=%d f=%d: messages = %d, want n-1+f = %d", n, f, r.MessagesToDecide, n-1+f)
+		}
+	}
+}
+
+// TestFailureFreeAbortDecides: with a 0 vote and no failure the overlay must
+// terminate everybody on abort (failure-free executions solve full NBAC).
+func TestFailureFreeAbortDecides(t *testing.T) {
+	votes := []core.Value{1, 0, 1, 1}
+	r := sim.Run(sim.Config{N: 4, F: 1, Votes: votes, New: New()})
+	if !r.SolvesNBAC() {
+		t.Fatalf("%v", r)
+	}
+	if v, _ := r.Decision(); v != core.Abort {
+		t.Fatalf("must abort: %v", r)
+	}
+	// 0-voters decide at the overlay's first deadline (paper time 3, i.e.
+	// 2U under the paper-minus-one convention), 1-voters one delay later.
+	if r.DecisionTick[2] != 2*u {
+		t.Errorf("the 0-voter must decide at 2U=%d, got %d", 2*u, r.DecisionTick[2])
+	}
+	if r.DecisionTick[1] != 3*u {
+		t.Errorf("a 1-voter must decide at 3U=%d, got %d", 3*u, r.DecisionTick[1])
+	}
+}
+
+// TestCrashLeavesUndecided: the cell (AV, A) has no termination; a crash
+// breaking the ack choreography must leave survivors undecided rather than
+// risk disagreement.
+func TestCrashLeavesUndecided(t *testing.T) {
+	votes := []core.Value{1, 0, 1, 1, 1}
+	// The 0-voter P2 crashes right after announcing to P3 only.
+	pol := sched.PartialBroadcast(2, 0, 1, 4, 5)
+	r := sim.Run(sim.Config{N: 5, F: 1, Votes: votes, New: New(), Policy: pol})
+	if !r.Agreement() || !r.Validity() {
+		t.Fatalf("agreement+validity are promised in CF: %v", r)
+	}
+	if r.Termination() {
+		t.Fatalf("termination is not promised and should fail here: %v", r)
+	}
+}
+
+// TestNetworkFailureAgreementOnly: under network failures only agreement is
+// promised.
+func TestNetworkFailureAgreementOnly(t *testing.T) {
+	for _, votes := range [][]core.Value{nil, {1, 0, 1, 1}} {
+		r := sim.Run(sim.Config{N: 4, F: 1, Votes: votes, New: New(),
+			Policy: sched.GST(u, 8*u, 5*u)})
+		if !r.Agreement() {
+			t.Fatalf("votes=%v: %v", votes, r)
+		}
+	}
+}

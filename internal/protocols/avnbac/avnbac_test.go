@@ -1,0 +1,73 @@
+package avnbac
+
+import (
+	"testing"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/sched"
+	"atomiccommit/internal/sim"
+)
+
+const u = sim.DefaultU
+
+func TestDelayOptimalNice(t *testing.T) {
+	n := 5
+	r := sim.Run(sim.Config{N: n, F: 2, New: NewDelayOptimal()})
+	if !r.SolvesNBAC() || r.DelayUnits() != 1 || r.MessagesToDecide != n*n-n {
+		t.Fatalf("want 1 delay / n^2-n messages: %v", r)
+	}
+}
+
+func TestMessageOptimalNice(t *testing.T) {
+	n := 5
+	r := sim.Run(sim.Config{N: n, F: 2, New: NewMessageOptimal()})
+	if !r.SolvesNBAC() || r.MessagesToDecide != 2*n-2 {
+		t.Fatalf("want 2n-2 messages: %v", r)
+	}
+}
+
+// TestUndecidedOnCrash: (AV, AV) has no termination promise — a crash
+// leaves at least the affected processes undecided, and nobody disagrees.
+func TestUndecidedOnCrash(t *testing.T) {
+	for name, factory := range map[string]func() func(core.ProcessID) core.Module{
+		"delay": NewDelayOptimal, "msg": NewMessageOptimal,
+	} {
+		r := sim.Run(sim.Config{N: 4, F: 1, New: factory(),
+			Policy: sched.CrashAtStart(4)}) // P4 = the msg variant's hub
+		if r.Termination() {
+			t.Fatalf("%s: termination should fail: %v", name, r)
+		}
+		if !r.Agreement() || !r.Validity() {
+			t.Fatalf("%s: agreement+validity must hold: %v", name, r)
+		}
+	}
+}
+
+// TestDelayOptimalPartialCrash: deciders must agree even when only some
+// processes can decide.
+func TestDelayOptimalPartialCrash(t *testing.T) {
+	// P1 reaches only P2 before dying: P2 decides (it has all votes),
+	// everybody else is stuck; P2's decision is the AND of all n votes.
+	votes := []core.Value{0, 1, 1, 1}
+	pol := sched.PartialBroadcast(1, 0, 3, 4)
+	r := sim.Run(sim.Config{N: 4, F: 1, Votes: votes, New: NewDelayOptimal(), Policy: pol})
+	if !r.Agreement() || !r.Validity() {
+		t.Fatalf("%v", r)
+	}
+	if v, ok := r.Decisions[2]; !ok || v != core.Abort {
+		t.Fatalf("P2 holds every vote and must abort: %v", r)
+	}
+}
+
+// TestNetworkDelayLeavesUndecided: a late vote ends the run undecided
+// rather than wrong — the (AV, AV) cell under a network failure.
+func TestNetworkDelayLeavesUndecided(t *testing.T) {
+	r := sim.Run(sim.Config{N: 3, F: 1, New: NewDelayOptimal(),
+		Policy: sched.DelayFrom(u, 2, 5*u)})
+	if !r.Agreement() || !r.Validity() {
+		t.Fatalf("%v", r)
+	}
+	if r.Termination() {
+		t.Fatalf("the delayed vote must cost termination: %v", r)
+	}
+}

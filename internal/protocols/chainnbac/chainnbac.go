@@ -1,0 +1,150 @@
+// Package chainnbac implements (n-1+f)NBAC (paper Appendix E.2), the
+// message-optimal synchronous NBAC protocol: n-1+f messages in every nice
+// execution, matching the paper's generalization of Dwork & Skeen's 2n-2
+// lower bound to arbitrary f (Table 3 cell (AVT, T); Table 5).
+//
+// Communication is a totally ordered chain P1 -> P2 -> ... -> Pn followed by
+// the suffix Pn -> P1 -> ... -> Pf (each process forwards the AND of the
+// votes seen so far), after which everybody "noops" for f+1 message delays:
+// not receiving anything during the noop is an implicit global commit.
+//
+// Contract: solves NBAC in every crash-failure execution (any f <= n-1,
+// no consensus needed); in network-failure executions only termination
+// survives — the noop trick reads silence as commitment, which a late
+// message can contradict.
+//
+// Timer convention: the paper's clock for the appendix E protocols starts at
+// 1 with the first send; tick 0 here is Propose, so every paper timer value
+// k becomes (k-1)*U.
+package chainnbac
+
+import (
+	"atomiccommit/internal/core"
+)
+
+// MsgVal carries the AND of the votes collected so far along the chain (and
+// the abort floods of failure executions).
+type MsgVal struct{ V core.Value }
+
+// Kind implements core.Message.
+func (MsgVal) Kind() string { return "VAL" }
+
+// Timer tags are the protocol phases.
+const (
+	tagPhase1 = 1
+	tagPhase2 = 2
+	tagPhase3 = 3
+)
+
+// ChainNBAC is one process's instance.
+type ChainNBAC struct {
+	env core.Env
+
+	decision    core.Value
+	decided     bool
+	delivered   bool
+	phase       int
+	zeroFlooded bool
+}
+
+// New returns a (n-1+f)NBAC factory.
+func New() func(core.ProcessID) core.Module {
+	return func(core.ProcessID) core.Module { return &ChainNBAC{} }
+}
+
+// Init implements core.Module.
+func (p *ChainNBAC) Init(env core.Env) { p.env = env; p.decision = core.Commit }
+
+func (p *ChainNBAC) i() int { return int(p.env.ID()) }
+func (p *ChainNBAC) n() int { return p.env.N() }
+func (p *ChainNBAC) f() int { return p.env.F() }
+
+// succ and pred implement the paper's % convention (0 maps to n).
+func (p *ChainNBAC) succ() core.ProcessID { return core.ProcessID(p.i()%p.n() + 1) }
+func (p *ChainNBAC) pred() core.ProcessID { return core.ProcessID((p.i()-2+p.n())%p.n() + 1) }
+
+func (p *ChainNBAC) at(paperTime int) core.Ticks { return core.Ticks(paperTime-1) * p.env.U() }
+
+// Propose implements core.Module.
+func (p *ChainNBAC) Propose(v core.Value) {
+	p.decision = p.decision.And(v)
+	if p.i() == 1 {
+		p.env.Send(2, MsgVal{V: p.decision})
+		p.env.SetTimerAt(p.at(p.n()+1), tagPhase2)
+		p.phase = 2
+	} else {
+		p.env.SetTimerAt(p.at(p.i()), tagPhase1)
+		p.phase = 1
+	}
+}
+
+// Deliver implements core.Module.
+func (p *ChainNBAC) Deliver(from core.ProcessID, m core.Message) {
+	msg, ok := m.(MsgVal)
+	if !ok {
+		return
+	}
+	p.decision = p.decision.And(msg.V)
+	if p.phase <= 2 {
+		if from == p.pred() {
+			p.delivered = true
+		}
+	} else if !p.decided && msg.V == core.Abort {
+		// During the noop, a zero must be re-flooded so that every correct
+		// process hears it before the noop ends (the paper's agreement
+		// argument); flooding once per process is enough and avoids the
+		// storm a literal re-broadcast per receipt would cause.
+		p.floodZero()
+	}
+}
+
+func (p *ChainNBAC) floodZero() {
+	if p.zeroFlooded {
+		return
+	}
+	p.zeroFlooded = true
+	for q := 1; q <= p.n(); q++ {
+		if core.ProcessID(q) != p.env.ID() {
+			p.env.Send(core.ProcessID(q), MsgVal{V: core.Abort})
+		}
+	}
+}
+
+// Timeout implements core.Module.
+func (p *ChainNBAC) Timeout(tag int) {
+	switch {
+	case tag == tagPhase1 && p.phase == 1:
+		if !p.delivered {
+			p.decision = core.Abort
+		}
+		if p.decision == core.Commit {
+			p.env.Send(p.succ(), MsgVal{V: p.decision})
+		} else if p.i() == p.n() {
+			p.floodZero()
+		}
+		p.delivered = false
+		if p.i() >= p.f()+1 {
+			p.env.SetTimerAt(p.at(p.n()+2*p.f()+1), tagPhase3)
+			p.phase = 3
+		} else {
+			p.env.SetTimerAt(p.at(p.n()+p.i()), tagPhase2)
+			p.phase = 2
+		}
+	case tag == tagPhase2 && p.phase == 2:
+		if !p.delivered {
+			p.decision = core.Abort
+		}
+		if p.decision == core.Commit && p.i() != p.f() {
+			p.env.Send(p.succ(), MsgVal{V: p.decision})
+		}
+		if p.decision == core.Abort {
+			p.floodZero()
+		}
+		p.delivered = false
+		p.env.SetTimerAt(p.at(p.n()+2*p.f()+1), tagPhase3)
+		p.phase = 3
+	case tag == tagPhase3 && p.phase == 3:
+		p.decided = true
+		p.env.Decide(p.decision)
+	}
+}

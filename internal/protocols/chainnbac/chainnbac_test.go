@@ -1,0 +1,103 @@
+package chainnbac
+
+import (
+	"testing"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/sched"
+	"atomiccommit/internal/sim"
+)
+
+const u = sim.DefaultU
+
+// TestChainOrderAndCount verifies the totally ordered communication of the
+// nice execution: exactly n-1+f messages, each hop one delay apart.
+func TestChainOrderAndCount(t *testing.T) {
+	n, f := 5, 2
+	tr := &sim.Trace{}
+	r := sim.Run(sim.Config{N: n, F: f, New: New(), Trace: tr})
+	if !r.SolvesNBAC() {
+		t.Fatalf("%v", r)
+	}
+	if r.MessagesToDecide != n-1+f {
+		t.Fatalf("messages = %d, want n-1+f = %d", r.MessagesToDecide, n-1+f)
+	}
+	// The sequence of senders must be P1..Pn-1 then Pn, P1..Pf-1.
+	var senders []core.ProcessID
+	for _, e := range tr.Entries {
+		if e.Op == sim.OpSend && !e.Self {
+			senders = append(senders, e.Proc)
+		}
+	}
+	want := []core.ProcessID{1, 2, 3, 4, 5, 1}
+	if len(senders) != len(want) {
+		t.Fatalf("senders %v, want %v", senders, want)
+	}
+	for i := range want {
+		if senders[i] != want[i] {
+			t.Fatalf("senders %v, want %v", senders, want)
+		}
+	}
+}
+
+// TestSilenceAborts: a broken chain (P2 crashed) yields a unanimous abort —
+// the implicit-vote technique in its failure direction.
+func TestSilenceAborts(t *testing.T) {
+	r := sim.Run(sim.Config{N: 5, F: 2, New: New(), Policy: sched.CrashAtStart(2)})
+	if !r.Agreement() || !r.Validity() || !r.Termination() {
+		t.Fatalf("%v", r)
+	}
+	if v, _ := r.Decision(); v != core.Abort {
+		t.Fatalf("broken chain must abort: %v", r)
+	}
+}
+
+// TestZeroVoterSilence: a 0 vote is expressed by NOT forwarding; everybody
+// must abort at the noop deadline.
+func TestZeroVoterSilence(t *testing.T) {
+	votes := []core.Value{1, 1, 0, 1, 1}
+	r := sim.Run(sim.Config{N: 5, F: 1, Votes: votes, New: New()})
+	if !r.SolvesNBAC() {
+		t.Fatalf("%v", r)
+	}
+	if v, _ := r.Decision(); v != core.Abort {
+		t.Fatalf("must abort: %v", r)
+	}
+}
+
+// TestSuffixCrashAgreement: the suffix exists so that f crashes cannot hide
+// an abort from part of the ring. Pn crashes right after telling only P1;
+// the re-flood during the noop must reach everybody.
+func TestSuffixCrashAgreement(t *testing.T) {
+	n, f := 5, 2
+	// P4 never forwards (votes 0); Pn learns the abort and crashes right
+	// after its flood reaches only P1.
+	votes := []core.Value{1, 1, 1, 0, 1}
+	pol := sched.PartialBroadcast(5, core.Ticks(n-2)*u, 2, 3, 4)
+	r := sim.Run(sim.Config{N: n, F: f, Votes: votes, New: New(), Policy: pol})
+	if len(r.Crashed) > f {
+		t.Skip("schedule exceeded f")
+	}
+	if !r.Agreement() || !r.Validity() || !r.Termination() {
+		t.Fatalf("%v", r)
+	}
+	if v, _ := r.Decision(); v != core.Abort {
+		t.Fatalf("must abort everywhere: %v", r)
+	}
+}
+
+// TestNoopWindowLength: decisions land exactly at (n+2f)U under the
+// tick-0-propose convention — one unit after the paper's 2f+n-1 count, the
+// constant EXPERIMENTS.md documents.
+func TestNoopWindowLength(t *testing.T) {
+	for _, nf := range [][2]int{{3, 1}, {5, 2}, {6, 5}} {
+		n, f := nf[0], nf[1]
+		r := sim.Run(sim.Config{N: n, F: f, New: New()})
+		want := core.Ticks(n+2*f) * u
+		for i := 1; i <= n; i++ {
+			if got := r.DecisionTick[core.ProcessID(i)]; got != want {
+				t.Errorf("n=%d f=%d: P%d decided at %d, want %d", n, f, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package hubnbac
+
+import (
+	"testing"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/sched"
+	"atomiccommit/internal/sim"
+)
+
+const u = sim.DefaultU
+
+func TestNiceExecution(t *testing.T) {
+	for _, nf := range [][2]int{{2, 1}, {4, 2}, {7, 6}} {
+		n, f := nf[0], nf[1]
+		r := sim.Run(sim.Config{N: n, F: f, New: New()})
+		if !r.SolvesNBAC() {
+			t.Fatalf("n=%d f=%d: %v", n, f, r)
+		}
+		if r.MessagesToDecide != 2*n-2 {
+			t.Fatalf("n=%d f=%d: messages = %d, want 2n-2 = %d", n, f, r.MessagesToDecide, 2*n-2)
+		}
+		if r.DelayUnits() != 2+f {
+			t.Fatalf("n=%d f=%d: delays = %d, want 2+f = %d", n, f, r.DelayUnits(), 2+f)
+		}
+	}
+}
+
+// TestHubCrashAborts: with the hub Pn silent everybody floods abort and
+// decides 0.
+func TestHubCrashAborts(t *testing.T) {
+	n := 5
+	r := sim.Run(sim.Config{N: n, F: 2, New: New(), Policy: sched.CrashAtStart(core.ProcessID(n))})
+	if !r.Agreement() || !r.Validity() || !r.Termination() {
+		t.Fatalf("%v", r)
+	}
+	if v, _ := r.Decision(); v != core.Abort {
+		t.Fatalf("hub crash must abort: %v", r)
+	}
+}
+
+// TestHubCrashMidBroadcast is the agreement stress the f+1-delay noop
+// exists for: the hub announces commit to a strict subset and dies; the
+// uninformed processes flood abort, which must overtake the optimistic
+// commit before anyone decides.
+func TestHubCrashMidBroadcast(t *testing.T) {
+	n, f := 5, 2
+	pol := sched.PartialBroadcast(core.ProcessID(n), u, 3, 4)
+	r := sim.Run(sim.Config{N: n, F: f, New: New(), Policy: pol})
+	if !r.Agreement() || !r.Validity() || !r.Termination() {
+		t.Fatalf("agreement must survive the partial [B,1] broadcast: %v", r)
+	}
+	if v, _ := r.Decision(); v != core.Abort {
+		t.Fatalf("the abort flood must win: %v", r)
+	}
+}
+
+// TestNetworkFailureDropsAgreementOnly: cell (AVT, VT) — under network
+// failures validity and termination must hold; agreement is not asserted.
+func TestNetworkFailureDropsAgreementOnly(t *testing.T) {
+	r := sim.Run(sim.Config{N: 4, F: 1, New: New(), Policy: sched.GST(u, 6*u, 3*u)})
+	if !r.Validity() || !r.Termination() {
+		t.Fatalf("%v", r)
+	}
+}

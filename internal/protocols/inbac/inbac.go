@@ -1,0 +1,459 @@
+// Package inbac implements INBAC (paper section 5 and Appendix A), the
+// paper's primary contribution: an indulgent atomic commit protocol — every
+// network-failure execution solves NBAC — that is delay-optimal (2 message
+// delays) and message-optimal among delay-optimal protocols (2fn messages)
+// in every nice execution (Theorems 5 and 6).
+//
+// Structure of a nice execution (all at multiples of U):
+//
+//	t=0   every process P sends its vote to its f backup processes B_P:
+//	      B_P = {P1..Pf} for P in {Pf+1..Pn}, and {P1..Pf+1}\{P} for
+//	      P in {P1..Pf}.
+//	t=U   every backup acknowledges by sending the SET of votes it backs
+//	      up in a single bundled message [C, collection] (P1..Pf broadcast
+//	      to everyone, Pf+1 answers P1..Pf only — Lemma 6's f-1 cross
+//	      acknowledgements).
+//	t=2U  a process holding f correct acknowledgements that together
+//	      contain all n votes decides their AND.
+//
+// In any other execution a process falls back on an indulgent uniform
+// consensus, possibly after asking {Pf+1..Pn} for the acknowledgements they
+// received ([HELP]/[HELPED]) and waiting for n-f answers — the state machine
+// of the paper's Figure 1.
+//
+// Options.Accelerated adds the section 5.2 fast abort: a 0-voter announces
+// its vote to everybody and decides immediately, so failure-free aborting
+// executions finish after ONE message delay. Options.UnbundledAcks disables
+// the bundled acknowledgements for the ablation benchmark (the message count
+// then exceeds 2fn, showing the bundling is what achieves the bound).
+package inbac
+
+import (
+	"atomiccommit/internal/consensus"
+	"atomiccommit/internal/core"
+)
+
+// VotePair is one (process, vote) entry of a backed-up collection.
+type VotePair struct {
+	P core.ProcessID
+	V core.Value
+}
+
+// Message types.
+type (
+	// MsgV sends a vote to a backup process.
+	MsgV struct{ V core.Value }
+	// MsgC is a backup's bundled acknowledgement: every vote it backs up.
+	MsgC struct{ Pairs []VotePair }
+	// MsgHelp asks {Pf+1..Pn} for the acknowledgements they received.
+	MsgHelp struct{}
+	// MsgHelped answers MsgHelp with the responder's aggregated collection.
+	MsgHelped struct{ Pairs []VotePair }
+	// MsgA is the accelerated-abort announcement (section 5.2).
+	MsgA struct{}
+)
+
+func (MsgV) Kind() string      { return "V" }
+func (MsgC) Kind() string      { return "C" }
+func (MsgHelp) Kind() string   { return "HELP" }
+func (MsgHelped) Kind() string { return "HELPED" }
+func (MsgA) Kind() string      { return "A" }
+
+// Timer tags.
+const (
+	tagBackup = 0 // backup acknowledgement deadline (time U)
+	tagDecide = 1 // decision deadline (time 2U)
+)
+
+// Options configures INBAC.
+type Options struct {
+	// Consensus builds the underlying indulgent uniform consensus module
+	// (paper Definition 5); nil means the Paxos-based module. INBAC's
+	// correctness and best-case complexity are independent of the choice.
+	Consensus func() core.Module
+
+	// Accelerated enables the section 5.2 fast abort path.
+	Accelerated bool
+
+	// UnbundledAcks makes backups acknowledge each vote in its own message
+	// instead of one bundled [C, V] per destination — the ablation showing
+	// that bundling is necessary for the 2fn bound.
+	UnbundledAcks bool
+
+	// PathHook, when set, reports which branch of the Figure 1 state
+	// machine each process takes. Used by the Figure 1 reproduction
+	// harness; nil in production.
+	PathHook func(p core.ProcessID, b Branch)
+}
+
+// Branch enumerates the decision paths of the paper's Figure 1.
+type Branch int
+
+// The Figure 1 branches.
+const (
+	// BranchFastDecide: f correct acks holding all n votes -> decide AND.
+	BranchFastDecide Branch = iota
+	// BranchConsAND: some ack, all n votes known -> cons-propose AND.
+	BranchConsAND
+	// BranchConsZero: some ack, votes missing -> cons-propose 0.
+	BranchConsZero
+	// BranchAskHelp: no ack from {P1..Pf} -> ask {Pf+1..Pn} for more acks.
+	BranchAskHelp
+	// BranchHelpFast: the awaited n-f answers completed the f acks.
+	BranchHelpFast
+	// BranchHelpConsAND: after help, all votes known -> cons-propose AND.
+	BranchHelpConsAND
+	// BranchHelpConsZero: after help, votes missing -> cons-propose 0.
+	BranchHelpConsZero
+	// BranchConsensusDecided: the final decision came from consensus.
+	BranchConsensusDecided
+)
+
+// String names the branch as in Figure 1.
+func (b Branch) String() string {
+	switch b {
+	case BranchFastDecide:
+		return "decide AND(n votes)"
+	case BranchConsAND:
+		return "propose AND(n votes) to cons"
+	case BranchConsZero:
+		return "propose 0 to cons"
+	case BranchAskHelp:
+		return "ask for more acks and wait until >= n-f messages"
+	case BranchHelpFast:
+		return "decide AND(n votes) after help"
+	case BranchHelpConsAND:
+		return "propose AND(n votes) to cons after help"
+	case BranchHelpConsZero:
+		return "propose 0 to cons after help"
+	case BranchConsensusDecided:
+		return "decide the same decision of cons"
+	}
+	return "?"
+}
+
+// INBAC is one process's instance.
+type INBAC struct {
+	env  core.Env
+	opts Options
+	uc   core.Module
+
+	val      core.Value
+	phase    int
+	proposed bool
+	decided  bool
+	wait     bool
+
+	collection0    map[core.ProcessID]core.Value                    // votes backed up here (phase 0), later the aggregate
+	collection1    map[core.ProcessID]map[core.ProcessID]core.Value // [C] acknowledgements by sender
+	collectionHelp map[core.ProcessID]core.Value                    // union of [HELPED] collections
+	cnt            int                                              // number of [C] messages received
+	cntHelp        int                                              // number of [HELPED] messages received
+
+	pendingHelp []core.ProcessID
+}
+
+// New returns an INBAC factory.
+func New(opts Options) func(core.ProcessID) core.Module {
+	return func(core.ProcessID) core.Module { return &INBAC{opts: opts} }
+}
+
+// Init implements core.Module.
+func (p *INBAC) Init(env core.Env) {
+	p.env = env
+	p.collection0 = make(map[core.ProcessID]core.Value)
+	p.collection1 = make(map[core.ProcessID]map[core.ProcessID]core.Value)
+	p.collectionHelp = make(map[core.ProcessID]core.Value)
+	if p.opts.Consensus != nil {
+		p.uc = p.opts.Consensus()
+	} else {
+		p.uc = consensus.New()
+	}
+	env.Register("iuc", p.uc, p.onConsensus)
+}
+
+func (p *INBAC) i() int { return int(p.env.ID()) }
+func (p *INBAC) n() int { return p.env.N() }
+func (p *INBAC) f() int { return p.env.F() }
+
+// Propose implements core.Module.
+func (p *INBAC) Propose(v core.Value) {
+	p.val = v
+	if p.opts.Accelerated && v == core.Abort {
+		// Section 5.2: announce the 0 and decide immediately; the protocol
+		// keeps running underneath so backups and helpers stay consistent.
+		for q := 1; q <= p.n(); q++ {
+			if core.ProcessID(q) != p.env.ID() {
+				p.env.Send(core.ProcessID(q), MsgA{})
+			}
+		}
+		p.decide(core.Abort)
+	}
+	for q := 1; q <= p.f(); q++ {
+		p.env.Send(core.ProcessID(q), MsgV{V: v})
+	}
+	if p.i() <= p.f() {
+		p.env.Send(core.ProcessID(p.f()+1), MsgV{V: v})
+	}
+	if p.i() <= p.f()+1 {
+		p.env.SetTimerAt(p.env.U(), tagBackup) // phase stays 0: we back up votes
+	} else {
+		p.env.SetTimerAt(2*p.env.U(), tagDecide)
+		p.phase = 1
+	}
+}
+
+// Deliver implements core.Module.
+func (p *INBAC) Deliver(from core.ProcessID, m core.Message) {
+	switch msg := m.(type) {
+	case MsgV:
+		if p.phase == 0 {
+			p.collection0[from] = msg.V
+		}
+	case MsgC:
+		c, ok := p.collection1[from]
+		if !ok {
+			c = make(map[core.ProcessID]core.Value)
+			p.collection1[from] = c
+		}
+		for _, pr := range msg.Pairs {
+			c[pr.P] = pr.V
+		}
+		p.cnt++
+		p.checkWait()
+	case MsgHelp:
+		p.pendingHelp = append(p.pendingHelp, from)
+		p.flushHelp()
+	case MsgHelped:
+		for _, pr := range msg.Pairs {
+			p.collectionHelp[pr.P] = pr.V
+		}
+		p.cntHelp++
+		p.checkWait()
+	case MsgA:
+		p.decide(core.Abort)
+	}
+}
+
+// flushHelp answers queued [HELP] requests once the guard of the paper's
+// handler holds (i >= f+1 and phase = 2; we additionally answer once decided
+// so the accelerated abort cannot starve a waiting process).
+func (p *INBAC) flushHelp() {
+	if p.i() < p.f()+1 || (p.phase != 2 && !p.decided) {
+		return
+	}
+	for _, q := range p.pendingHelp {
+		p.env.Send(q, MsgHelped{Pairs: p.pairs(p.collection0)})
+	}
+	p.pendingHelp = nil
+}
+
+func (p *INBAC) pairs(m map[core.ProcessID]core.Value) []VotePair {
+	out := make([]VotePair, 0, len(m))
+	for i := 1; i <= p.n(); i++ {
+		if v, ok := m[core.ProcessID(i)]; ok {
+			out = append(out, VotePair{P: core.ProcessID(i), V: v})
+		}
+	}
+	return out
+}
+
+// Timeout implements core.Module.
+func (p *INBAC) Timeout(tag int) {
+	switch {
+	case tag == tagBackup && p.phase == 0:
+		p.sendAcks()
+		p.phase = 1
+		p.env.SetTimerAt(2*p.env.U(), tagDecide)
+	case tag == tagDecide && p.phase == 1 && !p.decided && !p.proposed:
+		if p.i() >= p.f()+1 {
+			p.decideTimeoutHigh()
+		} else {
+			p.decideTimeoutLow()
+		}
+	}
+}
+
+// sendAcks is the backup acknowledgement at time U: P1..Pf broadcast their
+// collection to everyone, Pf+1 answers its f wards only.
+func (p *INBAC) sendAcks() {
+	var dests []core.ProcessID
+	if p.i() <= p.f() {
+		for q := 1; q <= p.n(); q++ {
+			dests = append(dests, core.ProcessID(q))
+		}
+	} else { // i == f+1
+		for q := 1; q <= p.f(); q++ {
+			dests = append(dests, core.ProcessID(q))
+		}
+	}
+	if p.opts.UnbundledAcks {
+		for _, d := range dests {
+			for _, pr := range p.pairs(p.collection0) {
+				p.env.Send(d, MsgC{Pairs: []VotePair{pr}})
+			}
+		}
+		return
+	}
+	bundle := MsgC{Pairs: p.pairs(p.collection0)}
+	for _, d := range dests {
+		p.env.Send(d, bundle)
+	}
+}
+
+// unionC is the union of every acknowledged collection received so far.
+func (p *INBAC) unionC() map[core.ProcessID]core.Value {
+	u := make(map[core.ProcessID]core.Value)
+	for _, c := range p.collection1 {
+		for q, v := range c {
+			u[q] = v
+		}
+	}
+	return u
+}
+
+func (p *INBAC) andOf(m map[core.ProcessID]core.Value) core.Value {
+	v := core.Commit
+	for _, x := range m {
+		v = v.And(x)
+	}
+	return v
+}
+
+// complete reports whether m contains a vote for every process.
+func (p *INBAC) complete(m map[core.ProcessID]core.Value) bool {
+	return len(m) == p.n()
+}
+
+// fullAcksHigh is the decision test for P in {Pf+1..Pn}: a correct
+// acknowledgement from all f backups, each containing all n votes.
+func (p *INBAC) fullAcksHigh() bool {
+	for j := 1; j <= p.f(); j++ {
+		c, ok := p.collection1[core.ProcessID(j)]
+		if !ok || !p.complete(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// fullAcksLow is the decision test for P in {P1..Pf}: acknowledgements from
+// P1..Pf (all n votes each) and from Pf+1 (the votes of P1..Pf).
+func (p *INBAC) fullAcksLow() bool {
+	if !p.fullAcksHigh() {
+		return false
+	}
+	c, ok := p.collection1[core.ProcessID(p.f()+1)]
+	if !ok {
+		return false
+	}
+	for q := 1; q <= p.f(); q++ {
+		if _, has := c[core.ProcessID(q)]; !has {
+			return false
+		}
+	}
+	return true
+}
+
+// decideTimeoutHigh is the time-2U handler for P in {Pf+1..Pn}: the state
+// machine of the paper's Figure 1.
+func (p *INBAC) decideTimeoutHigh() {
+	p.phase = 2
+	// Fold everything known into the aggregate this process would hand to
+	// others when helping.
+	for q, v := range p.unionC() {
+		p.collection0[q] = v
+	}
+	p.collection0[p.env.ID()] = p.val
+	p.flushHelp()
+
+	switch {
+	case p.fullAcksHigh():
+		p.hook(BranchFastDecide)
+		p.decide(p.andOf(p.unionC()))
+	case p.cnt >= 1:
+		p.proposeFrom(p.unionC())
+	default:
+		// No acknowledgement from any of P1..Pf: ask Pf+1..Pn for the
+		// acknowledgements they received and wait for n-f answers in total.
+		p.hook(BranchAskHelp)
+		p.wait = true
+		for q := p.f() + 1; q <= p.n(); q++ {
+			p.env.Send(core.ProcessID(q), MsgHelp{})
+		}
+	}
+}
+
+func (p *INBAC) hook(b Branch) {
+	if p.opts.PathHook != nil {
+		p.opts.PathHook(p.env.ID(), b)
+	}
+}
+
+// decideTimeoutLow is the time-2U handler for P in {P1..Pf}, which can
+// always resolve immediately (it received its own broadcast at least).
+func (p *INBAC) decideTimeoutLow() {
+	if p.fullAcksLow() {
+		p.hook(BranchFastDecide)
+		u := p.unionC()
+		p.decide(p.andOf(u))
+		return
+	}
+	p.proposeFrom(p.unionC())
+}
+
+// proposeFrom cons-proposes the AND of all n votes when the collection is
+// complete and 0 otherwise (the paper: missing votes mean a failure, so it
+// is safe to propose abort).
+func (p *INBAC) proposeFrom(u map[core.ProcessID]core.Value) {
+	p.proposed = true
+	if p.complete(u) {
+		p.hook(BranchConsAND)
+		p.uc.Propose(p.andOf(u))
+	} else {
+		p.hook(BranchConsZero)
+		p.uc.Propose(core.Abort)
+	}
+}
+
+// checkWait fires the paper's "upon cnt + cnt_help >= n-f and wait" guard.
+func (p *INBAC) checkWait() {
+	if !p.wait || p.proposed || p.decided || p.i() < p.f()+1 {
+		return
+	}
+	if p.cnt+p.cntHelp < p.n()-p.f() {
+		return
+	}
+	p.wait = false
+	switch {
+	case p.fullAcksHigh():
+		p.hook(BranchHelpFast)
+		p.decide(p.andOf(p.unionC()))
+	case p.cnt >= 1:
+		p.proposeFrom(p.unionC())
+	default:
+		p.proposed = true
+		if p.complete(p.collectionHelp) {
+			p.hook(BranchHelpConsAND)
+			p.uc.Propose(p.andOf(p.collectionHelp))
+		} else {
+			p.hook(BranchHelpConsZero)
+			p.uc.Propose(core.Abort)
+		}
+	}
+}
+
+func (p *INBAC) onConsensus(v core.Value) {
+	if !p.decided {
+		p.hook(BranchConsensusDecided)
+	}
+	p.decide(v)
+}
+
+func (p *INBAC) decide(v core.Value) {
+	if p.decided {
+		return
+	}
+	p.decided = true
+	p.env.Decide(v)
+}

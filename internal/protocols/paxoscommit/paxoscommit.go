@@ -1,0 +1,420 @@
+// Package paxoscommit implements PaxosCommit and Faster PaxosCommit (Gray &
+// Lamport, "Consensus on Transaction Commit", 2006), the indulgent baselines
+// of the paper's Table 5.
+//
+// Every process is a resource manager (RM) whose vote is decided by its own
+// single-decree Paxos instance; the transaction commits iff every instance
+// decides a commit vote. Following Gray & Lamport's optimization and the
+// paper's counting conventions (footnote 13: spontaneous start, co-located
+// acceptors, free self-messages), the fast path uses the f+1 acceptors
+// P1..Pf+1 out of the full acceptor set P1..P(min(2f+1,n)) — f+1 is a
+// majority of the full set, so a fast decision is a chosen Paxos value and
+// recovery can never contradict it.
+//
+// Nice executions:
+//
+//	PaxosCommit (3 delays, nf+2n-2 messages):
+//	  t=0  every RM sends its vote (a ballot-0 phase-2a) to P1..Pf+1
+//	  t=U  each fast acceptor sends ONE bundled phase-2b with all n votes
+//	       to the leader P1
+//	  t=2U the leader sees f+1 complete bundles, decides, broadcasts the
+//	       outcome; everybody else decides at t=3U.
+//
+//	Faster PaxosCommit (2 delays, 2fn+2n-2f-2 messages): identical except
+//	  the fast acceptors broadcast their bundle to everyone, and every
+//	  process decides locally at t=2U.
+//
+// In any other execution, leaders rotate on growing timeouts and run full
+// Paxos (prepare/promise/accept/accepted) per undecided instance over the
+// full acceptor set, proposing Abort for instances whose RM never voted.
+// Termination under failures needs a correct majority of the acceptor set.
+package paxoscommit
+
+import (
+	"atomiccommit/internal/core"
+)
+
+// Mode selects the variant.
+type Mode int
+
+// The two variants.
+const (
+	Classic Mode = iota // PaxosCommit: bundles to the leader, 3 delays
+	Faster              // Faster PaxosCommit: bundles to everyone, 2 delays
+)
+
+const unknown uint8 = 255
+
+// Message types.
+type (
+	// MsgVote2a is RM Inst's spontaneous ballot-0 phase-2a carrying its vote.
+	MsgVote2a struct {
+		Inst int
+		V    core.Value
+	}
+	// MsgBundle is a fast acceptor's bundled phase-2b: Views[k] is the vote
+	// of RM k+1 accepted at ballot 0 (unknown = none).
+	MsgBundle struct{ Views []uint8 }
+	// MsgOutcome announces the transaction outcome.
+	MsgOutcome struct{ V core.Value }
+	// MsgPrepareI is phase 1a of recovery for one instance.
+	MsgPrepareI struct{ Inst, B int }
+	// MsgPromiseI is phase 1b: AccB = -1 when nothing was accepted.
+	MsgPromiseI struct {
+		Inst, B, AccB int
+		AccV          core.Value
+	}
+	// MsgAcceptI is phase 2a of recovery.
+	MsgAcceptI struct {
+		Inst, B int
+		V       core.Value
+	}
+	// MsgAcceptedI is phase 2b of recovery.
+	MsgAcceptedI struct {
+		Inst, B int
+		V       core.Value
+	}
+)
+
+func (MsgVote2a) Kind() string    { return "p2aVote" }
+func (MsgBundle) Kind() string    { return "p2bBundle" }
+func (MsgOutcome) Kind() string   { return "OUTCOME" }
+func (MsgPrepareI) Kind() string  { return "p1a" }
+func (MsgPromiseI) Kind() string  { return "p1b" }
+func (MsgAcceptI) Kind() string   { return "p2a" }
+func (MsgAcceptedI) Kind() string { return "p2b" }
+
+// Timer tags.
+const (
+	tagBundle  = -1 // fast acceptor bundle time (U)
+	tagOutcome = -2 // fast decision time (2U)
+	// Non-negative tags are recovery round deadlines.
+)
+
+// Options configures the protocol.
+type Options struct {
+	Mode Mode
+}
+
+// instState is one acceptor's Paxos state for one instance.
+type instState struct {
+	promised int
+	accB     int
+	accV     core.Value
+}
+
+// leadInst is a recovery leader's per-instance tally for its current ballot.
+type leadInst struct {
+	promises map[core.ProcessID]MsgPromiseI
+	accepted map[core.ProcessID]bool
+	inPhase2 bool
+	value    core.Value
+}
+
+// PaxosCommit is one process's instance.
+type PaxosCommit struct {
+	env  core.Env
+	opts Options
+
+	vote    core.Value
+	decided bool
+
+	// Acceptor state, indexed by instance 1..n.
+	inst []instState
+
+	// Bundle collection (leader in Classic, everyone in Faster).
+	bundles map[core.ProcessID][]uint8
+
+	// Recovery.
+	round      int
+	leadBallot int
+	leading    map[int]*leadInst // per instance
+	resolved   map[int]core.Value
+}
+
+// New returns a PaxosCommit factory.
+func New(opts Options) func(core.ProcessID) core.Module {
+	return func(core.ProcessID) core.Module { return &PaxosCommit{opts: opts} }
+}
+
+// Init implements core.Module.
+func (p *PaxosCommit) Init(env core.Env) {
+	p.env = env
+	p.inst = make([]instState, env.N()+1)
+	for k := range p.inst {
+		p.inst[k] = instState{promised: -1, accB: -1}
+	}
+	p.bundles = make(map[core.ProcessID][]uint8)
+	p.leadBallot = -1
+	p.resolved = make(map[int]core.Value)
+}
+
+func (p *PaxosCommit) n() int { return p.env.N() }
+func (p *PaxosCommit) f() int { return p.env.F() }
+
+// fastAcceptors is f+1 (a majority of the full acceptor set).
+func (p *PaxosCommit) numFast() int { return min(p.f()+1, p.n()) }
+
+// numFull is the full acceptor set size, 2f+1 co-located on P1..P(2f+1)
+// (clamped to n; quorum intersection still holds, see package comment).
+func (p *PaxosCommit) numFull() int { return min(2*p.f()+1, p.n()) }
+
+func (p *PaxosCommit) majority() int { return p.numFull()/2 + 1 }
+
+func (p *PaxosCommit) isFast() bool { return int(p.env.ID()) <= p.numFast() }
+func (p *PaxosCommit) isFull() bool { return int(p.env.ID()) <= p.numFull() }
+
+// leader of recovery round r; ballot b = r+1 belongs to leader(r).
+func (p *PaxosCommit) leader(r int) core.ProcessID { return core.ProcessID(r%p.n() + 1) }
+
+func (p *PaxosCommit) roundDeadline(r int) core.Ticks {
+	return core.Ticks(8+4*r) * p.env.U()
+}
+
+// Propose implements core.Module.
+func (p *PaxosCommit) Propose(v core.Value) {
+	p.vote = v
+	me := int(p.env.ID())
+	for a := 1; a <= p.numFast(); a++ {
+		p.env.Send(core.ProcessID(a), MsgVote2a{Inst: me, V: v})
+	}
+	if p.isFast() {
+		p.env.SetTimerAt(p.env.U(), tagBundle)
+	}
+	if p.opts.Mode == Faster || p.env.ID() == 1 {
+		p.env.SetTimerAt(2*p.env.U(), tagOutcome)
+	}
+	// Arm the recovery round clock.
+	p.env.SetTimerAt(p.roundDeadline(0), 0)
+}
+
+// Deliver implements core.Module.
+func (p *PaxosCommit) Deliver(from core.ProcessID, m core.Message) {
+	switch msg := m.(type) {
+	case MsgVote2a:
+		st := &p.inst[msg.Inst]
+		if st.promised <= 0 && st.accB < 0 {
+			st.promised = 0
+			st.accB = 0
+			st.accV = msg.V
+		}
+	case MsgBundle:
+		p.bundles[from] = msg.Views
+	case MsgOutcome:
+		p.decideOutcome(msg.V)
+	case MsgPrepareI:
+		p.onPrepare(from, msg)
+	case MsgPromiseI:
+		p.onPromise(from, msg)
+	case MsgAcceptI:
+		p.onAccept(from, msg)
+	case MsgAcceptedI:
+		p.onAccepted(from, msg)
+	}
+}
+
+// Timeout implements core.Module.
+func (p *PaxosCommit) Timeout(tag int) {
+	switch {
+	case tag == tagBundle:
+		p.sendBundle()
+	case tag == tagOutcome:
+		p.tryFastDecision()
+	case tag >= 0:
+		if p.decided || tag != p.round {
+			return
+		}
+		p.round++
+		p.env.SetTimerAt(p.env.Now()+p.roundDeadline(p.round), p.round)
+		if p.leader(p.round) == p.env.ID() {
+			p.startRecovery(p.round + 1)
+		}
+	}
+}
+
+// sendBundle is the fast acceptor's bundled phase-2b at time U.
+func (p *PaxosCommit) sendBundle() {
+	views := make([]uint8, p.n())
+	for k := 1; k <= p.n(); k++ {
+		views[k-1] = unknown
+		if p.inst[k].accB == 0 {
+			views[k-1] = uint8(p.inst[k].accV)
+		}
+	}
+	msg := MsgBundle{Views: views}
+	if p.opts.Mode == Faster {
+		for q := 1; q <= p.n(); q++ {
+			p.env.Send(core.ProcessID(q), msg)
+		}
+	} else {
+		p.env.Send(1, msg)
+	}
+}
+
+// tryFastDecision checks for f+1 complete bundles at time 2U.
+func (p *PaxosCommit) tryFastDecision() {
+	if p.decided {
+		return
+	}
+	complete := 0
+	outcome := core.Commit
+	for _, views := range p.bundles {
+		full := true
+		for _, b := range views {
+			if b == unknown {
+				full = false
+				break
+			}
+			outcome = outcome.And(core.Value(b))
+		}
+		if full {
+			complete++
+		}
+	}
+	if complete >= p.numFast() {
+		if p.opts.Mode == Classic {
+			// The leader announces; everyone else decides at 3U.
+			for q := 2; q <= p.n(); q++ {
+				p.env.Send(core.ProcessID(q), MsgOutcome{V: outcome})
+			}
+		}
+		p.decideOutcome(outcome)
+		return
+	}
+	// Fast path failed. The round-0 leader escalates immediately rather
+	// than waiting for its round deadline.
+	if p.env.ID() == p.leader(0) {
+		p.startRecovery(p.round + 1)
+	}
+}
+
+// startRecovery runs phase 1 for every instance at the given ballot.
+func (p *PaxosCommit) startRecovery(ballot int) {
+	if p.decided {
+		return
+	}
+	p.leadBallot = ballot
+	p.leading = make(map[int]*leadInst)
+	for k := 1; k <= p.n(); k++ {
+		if _, done := p.resolved[k]; done {
+			continue
+		}
+		p.leading[k] = &leadInst{
+			promises: make(map[core.ProcessID]MsgPromiseI),
+			accepted: make(map[core.ProcessID]bool),
+		}
+		for a := 1; a <= p.numFull(); a++ {
+			p.env.Send(core.ProcessID(a), MsgPrepareI{Inst: k, B: ballot})
+		}
+	}
+	p.maybeFinishRecovery()
+}
+
+func (p *PaxosCommit) onPrepare(from core.ProcessID, m MsgPrepareI) {
+	if !p.isFull() {
+		return
+	}
+	st := &p.inst[m.Inst]
+	if m.B <= st.promised {
+		return
+	}
+	st.promised = m.B
+	p.env.Send(from, MsgPromiseI{Inst: m.Inst, B: m.B, AccB: st.accB, AccV: st.accV})
+}
+
+func (p *PaxosCommit) onPromise(from core.ProcessID, m MsgPromiseI) {
+	if m.B != p.leadBallot {
+		return
+	}
+	li, ok := p.leading[m.Inst]
+	if !ok || li.inPhase2 {
+		return
+	}
+	li.promises[from] = m
+	if len(li.promises) < p.majority() {
+		return
+	}
+	// Adopt the accepted value of the highest ballot; a silent instance
+	// (its RM never voted) is resolved Abort — a failure occurred, so
+	// validity allows it.
+	bestB, v := -1, core.Abort
+	for _, pr := range li.promises {
+		if pr.AccB > bestB {
+			bestB, v = pr.AccB, pr.AccV
+		}
+	}
+	if bestB < 0 {
+		v = core.Abort
+	}
+	li.inPhase2 = true
+	li.value = v
+	for a := 1; a <= p.numFull(); a++ {
+		p.env.Send(core.ProcessID(a), MsgAcceptI{Inst: m.Inst, B: m.B, V: v})
+	}
+}
+
+func (p *PaxosCommit) onAccept(from core.ProcessID, m MsgAcceptI) {
+	if !p.isFull() {
+		return
+	}
+	st := &p.inst[m.Inst]
+	if m.B < st.promised {
+		return
+	}
+	st.promised = m.B
+	st.accB = m.B
+	st.accV = m.V
+	p.env.Send(p.leader(m.B-1), MsgAcceptedI{Inst: m.Inst, B: m.B, V: m.V})
+}
+
+func (p *PaxosCommit) onAccepted(from core.ProcessID, m MsgAcceptedI) {
+	if m.B != p.leadBallot {
+		return
+	}
+	li, ok := p.leading[m.Inst]
+	if !ok || !li.inPhase2 {
+		return
+	}
+	li.accepted[from] = true
+	if len(li.accepted) < p.majority() {
+		return
+	}
+	p.resolved[m.Inst] = li.value
+	delete(p.leading, m.Inst)
+	p.maybeFinishRecovery()
+}
+
+// maybeFinishRecovery announces the outcome once every instance is resolved.
+func (p *PaxosCommit) maybeFinishRecovery() {
+	if p.decided || len(p.resolved) != p.n() {
+		return
+	}
+	outcome := core.Commit
+	for _, v := range p.resolved {
+		outcome = outcome.And(v)
+	}
+	for q := 1; q <= p.n(); q++ {
+		if core.ProcessID(q) != p.env.ID() {
+			p.env.Send(core.ProcessID(q), MsgOutcome{V: outcome})
+		}
+	}
+	p.decideOutcome(outcome)
+}
+
+// decideOutcome records the decision. A process that never hears an outcome
+// (its announcer crashed mid-broadcast) recovers it through the rotating
+// leaders, which re-resolve every instance to the same chosen values.
+func (p *PaxosCommit) decideOutcome(v core.Value) {
+	if p.decided {
+		return
+	}
+	p.decided = true
+	p.env.Decide(v)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package paxoscommit
+
+import (
+	"testing"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/sched"
+	"atomiccommit/internal/sim"
+)
+
+const u = sim.DefaultU
+
+func TestClassicNiceExecution(t *testing.T) {
+	for _, nf := range [][2]int{{2, 1}, {3, 1}, {5, 2}, {7, 3}, {9, 1}} {
+		n, f := nf[0], nf[1]
+		r := sim.Run(sim.Config{N: n, F: f, New: New(Options{Mode: Classic})})
+		if !r.SolvesNBAC() {
+			t.Fatalf("n=%d f=%d: %v", n, f, r)
+		}
+		if want := n*f + 2*n - 2; r.MessagesToDecide != want {
+			t.Errorf("n=%d f=%d: messages = %d, want nf+2n-2 = %d", n, f, r.MessagesToDecide, want)
+		}
+		if r.DelayUnits() != 3 {
+			t.Errorf("n=%d f=%d: delays = %d, want 3", n, f, r.DelayUnits())
+		}
+	}
+}
+
+func TestFasterNiceExecution(t *testing.T) {
+	for _, nf := range [][2]int{{2, 1}, {3, 1}, {5, 2}, {7, 3}} {
+		n, f := nf[0], nf[1]
+		r := sim.Run(sim.Config{N: n, F: f, New: New(Options{Mode: Faster})})
+		if !r.SolvesNBAC() {
+			t.Fatalf("n=%d f=%d: %v", n, f, r)
+		}
+		if want := 2*f*n + 2*n - 2*f - 2; r.MessagesToDecide != want {
+			t.Errorf("n=%d f=%d: messages = %d, want 2fn+2n-2f-2 = %d", n, f, r.MessagesToDecide, want)
+		}
+		if r.DelayUnits() != 2 {
+			t.Errorf("n=%d f=%d: delays = %d, want 2", n, f, r.DelayUnits())
+		}
+	}
+}
+
+// TestRMCrashAborts: a resource manager that crashes before voting leaves
+// its instance unresolved; recovery must drive it to Abort and terminate.
+func TestRMCrashAborts(t *testing.T) {
+	for _, mode := range []Mode{Classic, Faster} {
+		r := sim.Run(sim.Config{N: 5, F: 2, New: New(Options{Mode: mode}),
+			Policy: sched.CrashAtStart(5)})
+		if !r.Agreement() || !r.Validity() || !r.Termination() {
+			t.Fatalf("mode=%d: %v", mode, r)
+		}
+		if v, _ := r.Decision(); v != core.Abort {
+			t.Fatalf("mode=%d: unresolved instance must abort: %v", mode, r)
+		}
+	}
+}
+
+// TestLeaderCrashRecovery: the fast-path leader P1 (also an acceptor)
+// crashes right after the votes arrive; the rotating recovery leaders must
+// finish the job.
+func TestLeaderCrashRecovery(t *testing.T) {
+	for _, mode := range []Mode{Classic, Faster} {
+		r := sim.Run(sim.Config{N: 5, F: 2, New: New(Options{Mode: mode}),
+			Policy: sched.Crashes(map[core.ProcessID]core.Ticks{1: u})})
+		if !r.Agreement() || !r.Validity() || !r.Termination() {
+			t.Fatalf("mode=%d: %v", mode, r)
+		}
+	}
+}
+
+// TestFastDecisionSurvivesRecovery: in Faster mode some processes decide on
+// the fast path at 2U while a victim with delayed bundles goes through
+// recovery; the chosen values must force the same outcome.
+func TestFastDecisionSurvivesRecovery(t *testing.T) {
+	victim := core.ProcessID(4)
+	pol := sim.Policy{Delay: func(s, d core.ProcessID, at core.Ticks, nth int) core.Ticks {
+		if d == victim && at < 2*u {
+			return at + 20*u
+		}
+		return at + u
+	}}
+	r := sim.Run(sim.Config{N: 5, F: 1, New: New(Options{Mode: Faster}), Policy: pol})
+	if !r.Agreement() || !r.Validity() || !r.Termination() {
+		t.Fatalf("%v", r)
+	}
+	if v, _ := r.Decision(); v != core.Commit {
+		t.Fatalf("recovery must confirm the fast-path commit: %v", r)
+	}
+}
+
+// TestIndulgence: eventually synchronous executions solve NBAC.
+func TestIndulgence(t *testing.T) {
+	for _, mode := range []Mode{Classic, Faster} {
+		r := sim.Run(sim.Config{N: 5, F: 2, New: New(Options{Mode: mode}),
+			Policy: sched.GST(u, 10*u, 4*u)})
+		if !r.Agreement() || !r.Validity() || !r.Termination() {
+			t.Fatalf("mode=%d: %v", mode, r)
+		}
+	}
+}
+
+// TestTable5Tradeoff pins the paper's section 6.2 comparison: for f >= 2 and
+// n >= 3, PaxosCommit beats INBAC on messages (nf+2n-2 < 2fn) while INBAC
+// beats PaxosCommit on delays (2 < 3), and Faster PaxosCommit always costs
+// at least as much as INBAC at the same two delays.
+func TestTable5Tradeoff(t *testing.T) {
+	for n := 3; n <= 12; n++ {
+		for f := 2; f <= n-1; f++ {
+			paxos := n*f + 2*n - 2
+			inbac := 2 * f * n
+			faster := 2*f*n + 2*n - 2*f - 2
+			if !(paxos < inbac) {
+				t.Errorf("n=%d f=%d: expected PaxosCommit %d < INBAC %d on messages", n, f, paxos, inbac)
+			}
+			if !(faster >= inbac) {
+				t.Errorf("n=%d f=%d: Faster PaxosCommit %d must be >= INBAC %d (INBAC is message-optimal at 2 delays)", n, f, faster, inbac)
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package threepc
+
+import (
+	"testing"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/sched"
+	"atomiccommit/internal/sim"
+)
+
+const u = sim.DefaultU
+
+func TestNiceExecution(t *testing.T) {
+	for _, n := range []int{2, 4, 7} {
+		r := sim.Run(sim.Config{N: n, F: 1, New: New()})
+		if !r.SolvesNBAC() {
+			t.Fatalf("n=%d: %v", n, r)
+		}
+		if r.MessagesToDecide != 4*n-4 || r.DelayUnits() != 4 {
+			t.Fatalf("n=%d: want 4n-4 = %d messages / 4 delays, got %v", n, 4*n-4, r)
+		}
+	}
+}
+
+// TestNonBlocking is 3PC's reason to exist: the exact scenario that blocks
+// 2PC (coordinator crash after vote collection) terminates here through the
+// election.
+func TestNonBlocking(t *testing.T) {
+	r := sim.Run(sim.Config{N: 5, F: 1, New: New(),
+		Policy: sched.Crashes(map[core.ProcessID]core.Ticks{1: u})})
+	if !r.Agreement() || !r.Validity() || !r.Termination() {
+		t.Fatalf("3PC must terminate where 2PC blocks: %v", r)
+	}
+	if v, _ := r.Decision(); v != core.Abort {
+		t.Fatalf("nobody precommitted, so the election must abort: %v", r)
+	}
+}
+
+// TestCrashMidPrecommit: the coordinator dies while precommitting; the
+// election must COMMIT because a precommit witness exists (the paper's
+// classic case analysis).
+func TestCrashMidPrecommit(t *testing.T) {
+	n := 5
+	pol := sched.PartialBroadcast(1, u, 4, 5) // precommit reaches P2, P3 only
+	r := sim.Run(sim.Config{N: n, F: 1, New: New(), Policy: pol})
+	if !r.Agreement() || !r.Validity() || !r.Termination() {
+		t.Fatalf("%v", r)
+	}
+	if v, _ := r.Decision(); v != core.Commit {
+		t.Fatalf("a precommit witness must drive commit: %v", r)
+	}
+}
+
+// TestCrashMidCommitBroadcast: some participants decide via the original
+// COMMIT, the rest through the election, and they must agree.
+func TestCrashMidCommitBroadcast(t *testing.T) {
+	n := 5
+	pol := sched.PartialBroadcast(1, 3*u, 4, 5)
+	r := sim.Run(sim.Config{N: n, F: 1, New: New(), Policy: pol})
+	if !r.Agreement() || !r.Validity() || !r.Termination() {
+		t.Fatalf("%v", r)
+	}
+	if v, _ := r.Decision(); v != core.Commit {
+		t.Fatalf("%v", r)
+	}
+}
+
+// TestElectedCoordinatorCrash: rounds must rotate past a crashed elected
+// coordinator.
+func TestElectedCoordinatorCrash(t *testing.T) {
+	// P1 (coordinator) and P2 (round-0 elected) both crash.
+	pol := sched.Merge(
+		sched.Crashes(map[core.ProcessID]core.Ticks{1: u, 2: 3 * u}),
+	)
+	r := sim.Run(sim.Config{N: 5, F: 2, New: New(), Policy: pol})
+	if !r.Agreement() || !r.Validity() || !r.Termination() {
+		t.Fatalf("%v", r)
+	}
+}
+
+// TestVoteNoAbortsFast: any 0 vote aborts through the coordinator without
+// precommits.
+func TestVoteNoAbortsFast(t *testing.T) {
+	votes := []core.Value{1, 0, 1}
+	r := sim.Run(sim.Config{N: 3, F: 1, Votes: votes, New: New()})
+	if !r.SolvesNBAC() {
+		t.Fatalf("%v", r)
+	}
+	if v, _ := r.Decision(); v != core.Abort {
+		t.Fatalf("%v", r)
+	}
+	if r.DelayUnits() != 2 {
+		t.Fatalf("abort takes 2 delays (vote + outcome), got %d", r.DelayUnits())
+	}
+}

@@ -1,0 +1,136 @@
+// Package twopc implements two-phase commit (Gray 1978), the baseline the
+// paper compares against in Table 5.
+//
+// The default variant is the paper's "fair comparison" form (footnote 13):
+// every process starts spontaneously, so participants push their votes to
+// the coordinator P1 without being asked. In a nice execution it takes 2
+// message delays and 2n-2 messages. The classic coordinator-initiated
+// variant (one extra delay and n-1 extra messages) is available via Classic.
+//
+// 2PC guarantees agreement and validity in every crash-failure and every
+// network-failure execution, but it is blocking: if the coordinator crashes
+// after the votes arrive, participants wait forever (no termination), which
+// is exactly the weakness 3PC, PaxosCommit and INBAC address.
+package twopc
+
+import (
+	"atomiccommit/internal/core"
+)
+
+// Message types.
+type (
+	// MsgReq is the classic variant's vote solicitation.
+	MsgReq struct{}
+	// MsgVote carries a participant's vote to the coordinator.
+	MsgVote struct{ V core.Value }
+	// MsgOutcome carries the coordinator's decision to everyone.
+	MsgOutcome struct{ V core.Value }
+)
+
+func (MsgReq) Kind() string     { return "REQ" }
+func (MsgVote) Kind() string    { return "VOTE" }
+func (MsgOutcome) Kind() string { return "OUTCOME" }
+
+// Coordinator is the distinguished process (the paper's single point of
+// failure); P1 throughout this repository.
+const Coordinator core.ProcessID = 1
+
+// Options configures the protocol.
+type Options struct {
+	// Classic makes the coordinator solicit votes with an explicit request
+	// round instead of assuming spontaneous starts.
+	Classic bool
+}
+
+// TwoPC is one process's 2PC instance.
+type TwoPC struct {
+	env  core.Env
+	opts Options
+
+	vote    core.Value
+	votes   map[core.ProcessID]core.Value
+	decided bool
+	outcome core.Value
+	sentOut bool
+}
+
+// New returns a 2PC factory for the simulator and live runtime.
+func New(opts Options) func(core.ProcessID) core.Module {
+	return func(core.ProcessID) core.Module { return &TwoPC{opts: opts} }
+}
+
+// Init implements core.Module.
+func (p *TwoPC) Init(env core.Env) {
+	p.env = env
+	p.votes = make(map[core.ProcessID]core.Value)
+}
+
+func (p *TwoPC) isCoord() bool { return p.env.ID() == Coordinator }
+
+// Propose implements core.Module.
+func (p *TwoPC) Propose(v core.Value) {
+	p.vote = v
+	if p.opts.Classic {
+		if p.isCoord() {
+			for i := 1; i <= p.env.N(); i++ {
+				p.env.Send(core.ProcessID(i), MsgReq{})
+			}
+			// Votes back by 2U (request U + vote U).
+			p.env.SetTimerAt(2*p.env.U(), 0)
+		}
+		return
+	}
+	// Spontaneous start: push the vote immediately.
+	p.env.Send(Coordinator, MsgVote{V: v})
+	if p.isCoord() {
+		p.env.SetTimerAt(p.env.U(), 0)
+	}
+}
+
+// Deliver implements core.Module.
+func (p *TwoPC) Deliver(from core.ProcessID, m core.Message) {
+	switch msg := m.(type) {
+	case MsgReq:
+		p.env.Send(Coordinator, MsgVote{V: p.vote})
+	case MsgVote:
+		if p.isCoord() {
+			p.votes[from] = msg.V
+		}
+	case MsgOutcome:
+		p.decide(msg.V)
+	}
+}
+
+// Timeout implements core.Module: the coordinator's vote-collection
+// deadline. A missing or delayed vote means some failure occurred, so
+// aborting preserves validity.
+func (p *TwoPC) Timeout(int) {
+	if !p.isCoord() || p.sentOut {
+		return
+	}
+	p.sentOut = true
+	out := core.Commit
+	for i := 1; i <= p.env.N(); i++ {
+		v, ok := p.votes[core.ProcessID(i)]
+		if !ok {
+			out = core.Abort
+			break
+		}
+		out = out.And(v)
+	}
+	for i := 1; i <= p.env.N(); i++ {
+		if core.ProcessID(i) != p.env.ID() {
+			p.env.Send(core.ProcessID(i), MsgOutcome{V: out})
+		}
+	}
+	p.decide(out)
+}
+
+func (p *TwoPC) decide(v core.Value) {
+	if p.decided {
+		return
+	}
+	p.decided = true
+	p.outcome = v
+	p.env.Decide(v)
+}

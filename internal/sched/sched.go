@@ -1,0 +1,223 @@
+// Package sched builds the execution schedules (adversaries) of the paper's
+// three execution classes: failure-free, crash-failure (synchronous system
+// with crashes), and network-failure (eventually synchronous system). Each
+// helper returns a sim.Policy; helpers compose via Merge.
+package sched
+
+import (
+	"math/rand"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/sim"
+)
+
+// Nice is the nice-execution network: every message takes exactly U and
+// nobody crashes. (The zero sim.Policy; named for readability.)
+func Nice() sim.Policy { return sim.Policy{} }
+
+// Crashes returns a policy crashing each listed process at the given tick.
+// A process crashed at tick t executes no event at or after t: crashing at 0
+// means "before sending any message" as in the paper's proofs.
+func Crashes(at map[core.ProcessID]core.Ticks) sim.Policy {
+	m := make(map[core.ProcessID]core.Ticks, len(at))
+	for p, t := range at {
+		m[p] = t
+	}
+	return sim.Policy{Crash: func(p core.ProcessID) core.Ticks {
+		if t, ok := m[p]; ok {
+			return t
+		}
+		return core.NoCrash
+	}}
+}
+
+// CrashAtStart crashes the listed processes at tick 0 (before sending
+// anything).
+func CrashAtStart(ps ...core.ProcessID) sim.Policy {
+	m := make(map[core.ProcessID]core.Ticks, len(ps))
+	for _, p := range ps {
+		m[p] = 0
+	}
+	return Crashes(m)
+}
+
+// PartialBroadcast makes src crash in the middle of a multicast at tick
+// "at": sends from src at that tick to any process in lost are suppressed,
+// and src crashes immediately after the tick. This is the adversary the
+// paper's agreement lower-bound constructions use.
+func PartialBroadcast(src core.ProcessID, at core.Ticks, lost ...core.ProcessID) sim.Policy {
+	lostSet := make(map[core.ProcessID]bool, len(lost))
+	for _, p := range lost {
+		lostSet[p] = true
+	}
+	return sim.Policy{
+		Drop: func(s, d core.ProcessID, sentAt core.Ticks, nth int) bool {
+			return s == src && sentAt >= at && lostSet[d]
+		},
+		Crash: func(p core.ProcessID) core.Ticks {
+			if p == src {
+				return at + 1
+			}
+			return core.NoCrash
+		},
+	}
+}
+
+// DelayLinks delays every message between the given ordered pairs by the
+// fixed amount extra beyond U (a network failure when extra > 0); all other
+// messages take exactly U. Pairs are encoded as two-element arrays
+// {src, dst}.
+func DelayLinks(u, extra core.Ticks, pairs ...[2]core.ProcessID) sim.Policy {
+	set := make(map[[2]core.ProcessID]bool, len(pairs))
+	for _, pr := range pairs {
+		set[pr] = true
+	}
+	return sim.Policy{Delay: func(s, d core.ProcessID, sentAt core.Ticks, nth int) core.Ticks {
+		if set[[2]core.ProcessID{s, d}] {
+			return sentAt + u + extra
+		}
+		return sentAt + u
+	}}
+}
+
+// DelayFrom delays every message sent by src until at least the absolute
+// tick "until" (and at least U after sending); everything else takes exactly
+// U. It models the paper's construction "every message from P arrives later
+// than max(t1, t3)".
+func DelayFrom(u core.Ticks, src core.ProcessID, until core.Ticks) sim.Policy {
+	return sim.Policy{Delay: func(s, d core.ProcessID, sentAt core.Ticks, nth int) core.Ticks {
+		at := sentAt + u
+		if s == src && at <= until {
+			return until + 1
+		}
+		return at
+	}}
+}
+
+// GST returns an eventually-synchronous schedule: messages sent before the
+// global stabilization time gst take "late" ticks (late > u constitutes the
+// network failure); messages sent at or after gst take exactly u. Eventual
+// delivery always holds.
+func GST(u, gst, late core.Ticks) sim.Policy {
+	return sim.Policy{Delay: func(s, d core.ProcessID, sentAt core.Ticks, nth int) core.Ticks {
+		if sentAt < gst {
+			return sentAt + late
+		}
+		return sentAt + u
+	}}
+}
+
+// Merge composes policies: the first non-nil Delay wins; a process crashes at
+// the earliest crash tick any policy assigns; a send is dropped if any policy
+// drops it.
+func Merge(ps ...sim.Policy) sim.Policy {
+	var out sim.Policy
+	for _, p := range ps {
+		if p.Delay != nil && out.Delay == nil {
+			out.Delay = p.Delay
+		}
+	}
+	crashFns := make([]func(core.ProcessID) core.Ticks, 0, len(ps))
+	dropFns := make([]func(core.ProcessID, core.ProcessID, core.Ticks, int) bool, 0, len(ps))
+	for _, p := range ps {
+		if p.Crash != nil {
+			crashFns = append(crashFns, p.Crash)
+		}
+		if p.Drop != nil {
+			dropFns = append(dropFns, p.Drop)
+		}
+	}
+	if len(crashFns) > 0 {
+		out.Crash = func(p core.ProcessID) core.Ticks {
+			t := core.NoCrash
+			for _, fn := range crashFns {
+				if ct := fn(p); ct < t {
+					t = ct
+				}
+			}
+			return t
+		}
+	}
+	if len(dropFns) > 0 {
+		out.Drop = func(s, d core.ProcessID, at core.Ticks, nth int) bool {
+			for _, fn := range dropFns {
+				if fn(s, d, at, nth) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return out
+}
+
+// RandomOpts parameterizes Random.
+type RandomOpts struct {
+	N int        // number of processes
+	F int        // resilience bound: at most F crashes are injected
+	U core.Ticks // synchronous bound
+
+	// Crashes enables random crash injection (up to F processes, at random
+	// ticks in [0, CrashWindow]).
+	Crashes     bool
+	CrashWindow core.Ticks // default 6*U
+
+	// NetFailures enables random message delays beyond U for messages sent
+	// before a randomly chosen stabilization time; after it the system is
+	// synchronous again, so indulgent protocols must terminate.
+	NetFailures bool
+	MaxExtra    core.Ticks // max extra delay beyond U, default 8*U
+	MaxGST      core.Ticks // stabilization drawn from [0, MaxGST], default 12*U
+}
+
+// Random draws a schedule from rng: a random subset of at most F processes
+// crashing at random ticks and/or random per-message delays before a random
+// stabilization time. The returned policy is deterministic given the draw
+// (all randomness is consumed up front or derived from a deterministic
+// per-message hash), so replaying the same seed reproduces the execution.
+func Random(rng *rand.Rand, o RandomOpts) sim.Policy {
+	if o.CrashWindow == 0 {
+		o.CrashWindow = 6 * o.U
+	}
+	if o.MaxExtra == 0 {
+		o.MaxExtra = 8 * o.U
+	}
+	if o.MaxGST == 0 {
+		o.MaxGST = 12 * o.U
+	}
+	var pol sim.Policy
+	if o.Crashes && o.F > 0 {
+		k := rng.Intn(o.F + 1)
+		perm := rng.Perm(o.N)
+		crash := make(map[core.ProcessID]core.Ticks, k)
+		for i := 0; i < k; i++ {
+			crash[core.ProcessID(perm[i]+1)] = core.Ticks(rng.Int63n(int64(o.CrashWindow) + 1))
+		}
+		pol = Merge(pol, Crashes(crash))
+	}
+	if o.NetFailures {
+		gst := core.Ticks(rng.Int63n(int64(o.MaxGST) + 1))
+		seed := rng.Int63()
+		u := o.U
+		maxExtra := int64(o.MaxExtra)
+		pol = Merge(pol, sim.Policy{Delay: func(s, d core.ProcessID, sentAt core.Ticks, nth int) core.Ticks {
+			if sentAt >= gst {
+				return sentAt + u
+			}
+			// Deterministic per-message pseudo-random extra delay.
+			h := hash64(uint64(seed) ^ uint64(s)<<40 ^ uint64(d)<<24 ^ uint64(sentAt)<<8 ^ uint64(nth))
+			extra := core.Ticks(h % uint64(maxExtra+1))
+			return sentAt + u + extra
+		}})
+	}
+	return pol
+}
+
+// hash64 is SplitMix64, a tiny high-quality mixer; deterministic delays per
+// message keep property-test executions replayable from a single seed.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/sim"
+)
+
+const u = sim.DefaultU
+
+func TestCrashesAndStart(t *testing.T) {
+	p := Crashes(map[core.ProcessID]core.Ticks{2: 5})
+	if p.Crash(2) != 5 || p.Crash(1) != core.NoCrash {
+		t.Fatal("crash map misapplied")
+	}
+	p = CrashAtStart(1, 3)
+	if p.Crash(1) != 0 || p.Crash(3) != 0 || p.Crash(2) != core.NoCrash {
+		t.Fatal("CrashAtStart misapplied")
+	}
+}
+
+func TestPartialBroadcast(t *testing.T) {
+	p := PartialBroadcast(1, 8, 3, 4)
+	if !p.Drop(1, 3, 8, 0) || !p.Drop(1, 4, 9, 2) {
+		t.Fatal("listed destinations must drop at/after the tick")
+	}
+	if p.Drop(1, 2, 8, 0) || p.Drop(2, 3, 8, 0) || p.Drop(1, 3, 7, 0) {
+		t.Fatal("unlisted sends must pass")
+	}
+	if p.Crash(1) != 9 {
+		t.Fatalf("source must crash right after, got %d", p.Crash(1))
+	}
+}
+
+func TestGSTEventualSynchrony(t *testing.T) {
+	p := GST(u, 10*u, 3*u)
+	if got := p.Delay(1, 2, 0, 0); got != 3*u {
+		t.Fatalf("pre-GST delay %d, want %d", got, 3*u)
+	}
+	if got := p.Delay(1, 2, 10*u, 0); got != 11*u {
+		t.Fatalf("post-GST delay endpoint %d, want %d", got, 11*u)
+	}
+}
+
+func TestDelayHelpers(t *testing.T) {
+	p := DelayLinks(u, 2*u, [2]core.ProcessID{1, 2})
+	if p.Delay(1, 2, 0, 0) != 3*u || p.Delay(2, 1, 0, 0) != u {
+		t.Fatal("DelayLinks must be directional")
+	}
+	p = DelayFrom(u, 1, 10*u)
+	if p.Delay(1, 2, 0, 0) != 10*u+1 {
+		t.Fatal("DelayFrom must push past the deadline")
+	}
+	if p.Delay(1, 2, 11*u, 0) != 12*u {
+		t.Fatal("DelayFrom must relax after the deadline")
+	}
+}
+
+func TestMergeSemantics(t *testing.T) {
+	m := Merge(
+		Crashes(map[core.ProcessID]core.Ticks{1: 9}),
+		Crashes(map[core.ProcessID]core.Ticks{1: 4, 2: 7}),
+		PartialBroadcast(3, 2, 1),
+	)
+	if m.Crash(1) != 4 {
+		t.Fatalf("earliest crash wins, got %d", m.Crash(1))
+	}
+	if m.Crash(2) != 7 || m.Crash(3) != 3 {
+		t.Fatal("crash merge wrong")
+	}
+	if !m.Drop(3, 1, 2, 0) {
+		t.Fatal("drop must survive merge")
+	}
+	if Merge().Crash != nil || Merge().Drop != nil || Merge().Delay != nil {
+		t.Fatal("empty merge must be the nice policy")
+	}
+}
+
+// TestRandomPolicyInvariants quick-checks the random adversary: crashes
+// never exceed F, delays are always at least U-eventual (finite), and the
+// same seed reproduces the same schedule.
+func TestRandomPolicyInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		mk := func() sim.Policy {
+			rng := rand.New(rand.NewSource(seed))
+			return Random(rng, RandomOpts{N: 6, F: 2, U: u, Crashes: true, NetFailures: true})
+		}
+		a, b := mk(), mk()
+		crashes := 0
+		for i := 1; i <= 6; i++ {
+			ca := core.NoCrash
+			if a.Crash != nil {
+				ca = a.Crash(core.ProcessID(i))
+			}
+			cb := core.NoCrash
+			if b.Crash != nil {
+				cb = b.Crash(core.ProcessID(i))
+			}
+			if ca != cb {
+				return false // not reproducible
+			}
+			if ca != core.NoCrash {
+				crashes++
+			}
+		}
+		if crashes > 2 {
+			return false
+		}
+		if a.Delay != nil {
+			for tick := core.Ticks(0); tick < 20*u; tick += u / 2 {
+				d := a.Delay(1, 2, tick, int(tick))
+				if d <= tick || d != b.Delay(1, 2, tick, int(tick)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

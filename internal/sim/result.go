@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"atomiccommit/internal/core"
+)
+
+// Result is the complete measurement of one execution.
+type Result struct {
+	N int
+	F int
+	U core.Ticks
+
+	// Votes is the proposal vector of the execution (Votes[i] is P(i+1)'s).
+	Votes []core.Value
+
+	// Decisions holds the decision of every process that decided (crashed
+	// processes may have decided before crashing).
+	Decisions     map[core.ProcessID]core.Value
+	DecisionTick  map[core.ProcessID]core.Ticks
+	DecisionDepth map[core.ProcessID]int
+
+	// LastDecisionTick is the virtual time of the latest decision; it is 0
+	// when nobody decided.
+	LastDecisionTick core.Ticks
+	// MaxDecisionDepth is the largest causal message-chain depth at which
+	// any process decided.
+	MaxDecisionDepth int
+
+	// MessagesSent counts network messages sent during the whole run
+	// (self-addressed messages excluded, paper footnote 10). SentByPath
+	// breaks the count down by module instance ("" is the commit protocol
+	// itself; "iuc" is e.g. INBAC's underlying consensus).
+	MessagesSent int
+	SentByPath   map[string]int
+
+	// MessagesToDecide counts network messages that arrived at or before
+	// LastDecisionTick. This is the paper's counting: the messages an
+	// execution needs for every process to decide (e.g. 1NBAC's final
+	// helping broadcast is sent at decision time, arrives afterwards, and
+	// is not part of the n^2-n bound).
+	MessagesToDecide int
+	ToDecideByPath   map[string]int
+
+	// Failure bookkeeping, used by the property checker to decide which of
+	// the paper's execution classes this run belongs to.
+	Crashed        map[core.ProcessID]bool
+	AnyCrash       bool
+	NetworkFailure bool
+
+	// HorizonReached reports that the run was cut off (MaxTicks/MaxEvents)
+	// before the required decisions; distinguishes "still running" from a
+	// genuinely quiescent non-terminating state.
+	HorizonReached bool
+
+	// Violations lists integrity violations (deciding twice, malformed
+	// sends). Always empty for a correct protocol.
+	Violations []string
+}
+
+// FailureFree reports whether the execution had neither crash nor network
+// failure (paper: "failure-free execution").
+func (r *Result) FailureFree() bool { return !r.AnyCrash && !r.NetworkFailure }
+
+// Nice reports whether the execution is a nice execution: failure-free and
+// every process proposes 1 (paper section 2.4).
+func (r *Result) Nice() bool {
+	if !r.FailureFree() {
+		return false
+	}
+	for _, v := range r.Votes {
+		if v != core.Commit {
+			return false
+		}
+	}
+	return true
+}
+
+// Correct reports whether p is correct (did not crash) in this execution.
+func (r *Result) Correct(p core.ProcessID) bool { return !r.Crashed[p] }
+
+// AllCorrectDecided reports whether every correct process decided.
+func (r *Result) AllCorrectDecided() bool {
+	for i := 1; i <= r.N; i++ {
+		p := core.ProcessID(i)
+		if r.Correct(p) {
+			if _, ok := r.Decisions[p]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Agreement reports whether no two processes decided differently
+// (paper Definition 1; uniform: crashed processes' decisions count).
+func (r *Result) Agreement() bool {
+	var seen *core.Value
+	for _, p := range sortedPIDs(r.Decisions) {
+		v := r.Decisions[p]
+		if seen == nil {
+			seen = &v
+		} else if *seen != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Validity reports whether every decision satisfies the paper's validity
+// property: 0 only if some process proposed 0 or a failure occurred; 1 only
+// if no process proposed 0.
+func (r *Result) Validity() bool {
+	anyZero := false
+	for _, v := range r.Votes {
+		if v == core.Abort {
+			anyZero = true
+		}
+	}
+	for _, p := range sortedPIDs(r.Decisions) {
+		switch r.Decisions[p] {
+		case core.Abort:
+			if !anyZero && r.FailureFree() {
+				return false
+			}
+		case core.Commit:
+			if anyZero {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Termination reports whether every correct process decided; a run cut off
+// at the horizon counts as non-terminating.
+func (r *Result) Termination() bool {
+	return !r.HorizonReached && r.AllCorrectDecided()
+}
+
+// SolvesNBAC reports whether this execution solves NBAC (validity,
+// agreement, termination all hold; paper Definition 1).
+func (r *Result) SolvesNBAC() bool {
+	return r.Validity() && r.Agreement() && r.Termination() && len(r.Violations) == 0
+}
+
+// DelayUnits returns the paper's "number of message delays" of the
+// execution: the virtual time of the last decision divided by U. It is only
+// meaningful for executions where every message takes exactly U (the nice
+// executions the complexity tables are about); the division is then exact.
+func (r *Result) DelayUnits() int {
+	if r.LastDecisionTick == 0 {
+		return 0
+	}
+	return int((r.LastDecisionTick + r.U - 1) / r.U)
+}
+
+// RootMessages returns the paper's message count restricted to the commit
+// protocol itself (excluding any consensus sub-module traffic, which must be
+// zero in nice executions anyway).
+func (r *Result) RootMessages() int { return r.ToDecideByPath[""] }
+
+// ConsensusMessages returns the number of messages sent by sub-modules
+// (everything that is not the root protocol instance).
+func (r *Result) ConsensusMessages() int {
+	n := 0
+	for path, c := range r.SentByPath {
+		if path != "" {
+			n += c
+		}
+	}
+	return n
+}
+
+// Decision returns the common decision value if at least one process decided
+// and all agree; ok is false otherwise.
+func (r *Result) Decision() (v core.Value, ok bool) {
+	if len(r.Decisions) == 0 || !r.Agreement() {
+		return 0, false
+	}
+	for _, p := range sortedPIDs(r.Decisions) {
+		return r.Decisions[p], true
+	}
+	return 0, false
+}
+
+// String summarizes the result on one line (handy in test failures).
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d f=%d msgs=%d(toDecide=%d) delays=%d depth=%d",
+		r.N, r.F, r.MessagesSent, r.MessagesToDecide, r.DelayUnits(), r.MaxDecisionDepth)
+	if v, ok := r.Decision(); ok && r.AllCorrectDecided() {
+		fmt.Fprintf(&b, " decided=%v", v)
+	} else {
+		fmt.Fprintf(&b, " decisions=%d/%d", len(r.Decisions), r.N)
+	}
+	if r.AnyCrash {
+		fmt.Fprintf(&b, " crashes=%d", len(r.Crashed))
+	}
+	if r.NetworkFailure {
+		b.WriteString(" netfail")
+	}
+	if r.HorizonReached {
+		b.WriteString(" HORIZON")
+	}
+	if len(r.Violations) > 0 {
+		fmt.Fprintf(&b, " VIOLATIONS=%v", r.Violations)
+	}
+	return b.String()
+}

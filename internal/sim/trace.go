@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"atomiccommit/internal/core"
+)
+
+// Op is the kind of a traced event.
+type Op uint8
+
+// Trace operations.
+const (
+	OpSend Op = iota
+	OpDeliver
+	OpTimeout
+	OpDecide
+	OpDrop
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSend:
+		return "send"
+	case OpDeliver:
+		return "recv"
+	case OpTimeout:
+		return "timeout"
+	case OpDecide:
+		return "decide"
+	case OpDrop:
+		return "drop"
+	}
+	return "?"
+}
+
+// Entry is one traced event.
+type Entry struct {
+	At       core.Ticks
+	Op       Op
+	Proc     core.ProcessID // the process taking the step
+	Peer     core.ProcessID // send: destination; deliver: source
+	Path     string         // module instance ("" = root protocol)
+	Msg      string         // message kind
+	Tag      int            // timer tag
+	Depth    int            // causal depth carried by a delivered message
+	Self     bool           // self-addressed send (free)
+	Decision *core.Value
+}
+
+// String renders the entry in a compact single-line form.
+func (e Entry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%-5d %v %-7s", e.At, e.Proc, e.Op)
+	switch e.Op {
+	case OpSend, OpDrop:
+		fmt.Fprintf(&b, " %s -> %v", e.Msg, e.Peer)
+		if e.Self {
+			b.WriteString(" (self)")
+		}
+	case OpDeliver:
+		fmt.Fprintf(&b, " %s <- %v (depth %d)", e.Msg, e.Peer, e.Depth)
+	case OpTimeout:
+		fmt.Fprintf(&b, " tag=%d", e.Tag)
+	case OpDecide:
+		fmt.Fprintf(&b, " %v", *e.Decision)
+	}
+	if e.Path != "" {
+		fmt.Fprintf(&b, " [%s]", e.Path)
+	}
+	return b.String()
+}
+
+// Trace collects the events of an execution for debugging and for the
+// space-time diagrams cmd/commitsim prints. The zero value is ready to use.
+type Trace struct {
+	Entries []Entry
+	// Limit bounds the number of recorded entries (0 = unlimited).
+	Limit int
+}
+
+func (t *Trace) add(e Entry) {
+	if t.Limit > 0 && len(t.Entries) >= t.Limit {
+		return
+	}
+	t.Entries = append(t.Entries, e)
+}
+
+// String dumps every entry, one per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.Entries {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SpaceTime renders an ASCII space-time diagram: one column per process,
+// one row per tick at which something happened. Message sends are shown as
+// "kind->Pj", deliveries as "kind<-Pj", decisions as "DECIDE(v)".
+func (t *Trace) SpaceTime(n int) string {
+	if len(t.Entries) == 0 {
+		return "(empty trace)\n"
+	}
+	const colWidth = 14
+	rows := make(map[core.Ticks][]string)
+	var ticks []core.Ticks
+	cell := func(at core.Ticks, p core.ProcessID) *string {
+		row, ok := rows[at]
+		if !ok {
+			row = make([]string, n+1)
+			rows[at] = row
+			ticks = append(ticks, at)
+		}
+		return &rows[at][p]
+	}
+	appendCell := func(at core.Ticks, p core.ProcessID, s string) {
+		c := cell(at, p)
+		if *c != "" {
+			*c += " "
+		}
+		*c += s
+	}
+	for _, e := range t.Entries {
+		switch e.Op {
+		case OpSend:
+			if !e.Self {
+				appendCell(e.At, e.Proc, fmt.Sprintf("%s>%v", e.Msg, e.Peer))
+			}
+		case OpDeliver:
+			appendCell(e.At, e.Proc, fmt.Sprintf("%s<%v", e.Msg, e.Peer))
+		case OpDecide:
+			appendCell(e.At, e.Proc, fmt.Sprintf("DECIDE(%d)", *e.Decision))
+		case OpDrop:
+			appendCell(e.At, e.Proc, fmt.Sprintf("x%s>%v", e.Msg, e.Peer))
+		}
+	}
+	// ticks were appended in first-seen order, which follows simulation
+	// order, already non-decreasing; keep stable.
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "tick")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "%-*s", colWidth, core.ProcessID(i))
+	}
+	b.WriteByte('\n')
+	for _, at := range ticks {
+		fmt.Fprintf(&b, "%-8d", at)
+		for i := 1; i <= n; i++ {
+			s := rows[at][i]
+			if len(s) > colWidth-1 {
+				s = s[:colWidth-2] + "…"
+			}
+			fmt.Fprintf(&b, "%-*s", colWidth, s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
