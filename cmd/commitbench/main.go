@@ -9,12 +9,22 @@
 //	commitbench -figure 1
 //	commitbench -extra crossover
 //	commitbench -sweep               # Table 5 message counts across (n, f)
+//
+// Throughput mode drives the live runtime's commit pipeline instead of the
+// simulator: txn/s and latency percentiles per protocol and in-flight
+// depth, against a serial Commit baseline (depth 1):
+//
+//	commitbench -throughput
+//	commitbench -throughput -txns 512 -depths 1,16,64,256 -protocols inbac,2pc,paxoscommit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"atomiccommit/internal/bench"
 )
@@ -28,6 +38,12 @@ func main() {
 		extra  = flag.String("extra", "", "supplementary experiment: crossover | ablation | abort | blocking")
 		sweep  = flag.Bool("sweep", false, "Table 5 message sweep across (n, f)")
 		all    = flag.Bool("all", false, "regenerate everything")
+
+		throughput = flag.Bool("throughput", false, "live pipeline throughput: txn/s and latency percentiles vs in-flight depth")
+		txns       = flag.Int("txns", 256, "throughput mode: transactions per data point")
+		depths     = flag.String("depths", "1,4,16,64", "throughput mode: comma-separated in-flight depths (1 = serial baseline)")
+		protoList  = flag.String("protocols", "inbac,2pc", "throughput mode: comma-separated protocol names")
+		timeout    = flag.Duration("timeout", 5*time.Millisecond, "throughput mode: protocol timeout unit U")
 	)
 	flag.Parse()
 
@@ -79,6 +95,30 @@ func main() {
 	}
 	if *all || *extra == "blocking" {
 		show(bench.BlockingDemo(*n, *f))
+	}
+	if *throughput {
+		var ds []int
+		for _, s := range strings.Split(*depths, ",") {
+			d, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || d < 1 {
+				fmt.Fprintf(os.Stderr, "commitbench: bad depth %q\n", s)
+				os.Exit(2)
+			}
+			ds = append(ds, d)
+		}
+		var ps []string
+		for _, p := range strings.Split(*protoList, ",") {
+			ps = append(ps, strings.TrimSpace(p))
+		}
+		_, s, err := bench.Throughput(bench.ThroughputConfig{
+			Protocols: ps,
+			Depths:    ds, Txns: *txns, N: *n, F: *f, Timeout: *timeout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)
+			os.Exit(1)
+		}
+		show(s)
 	}
 	if !ran {
 		flag.Usage()

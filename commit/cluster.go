@@ -9,9 +9,16 @@ import (
 	"atomiccommit/internal/live"
 )
 
+// retiredHistory is how many recently-finished transaction IDs each member
+// remembers so that straggler messages (a helper reply landing after the
+// decision, a retransmission racing the cleanup) are dropped instead of
+// accumulating forever in the pending buffer.
+const retiredHistory = 4096
+
 // Cluster runs n participants in one address space over an in-memory
 // network. It is the quickest way to use the library and the substrate of
-// the examples; each Commit call runs one full protocol instance.
+// the examples. Commit runs one protocol instance synchronously; Submit and
+// CommitMany run many concurrently through the pipeline (see pipeline.go).
 type Cluster struct {
 	opts      Options
 	resources []Resource
@@ -21,6 +28,14 @@ type Cluster struct {
 	members []*member
 	closed  bool
 	seq     int
+
+	// Pipeline state (pipeline.go): a lazily-started dispatcher pulls
+	// submissions off queue and runs them with at most opts.MaxInFlight
+	// transactions in flight.
+	queue       []*Txn
+	qcond       *sync.Cond
+	dispatching bool
+	stop        chan struct{}
 }
 
 type member struct {
@@ -30,6 +45,8 @@ type member struct {
 	mu        sync.Mutex
 	instances map[string]*live.Instance
 	pending   map[string][]live.Envelope
+	decided   map[string]struct{} // recently retired txIDs: stragglers are dropped
+	retired   []string            // FIFO eviction order for decided
 }
 
 // NewCluster builds a cluster with one participant per resource.
@@ -39,13 +56,15 @@ func NewCluster(resources []Resource, opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{opts: opts, resources: resources, mesh: live.NewMesh()}
+	c := &Cluster{opts: opts, resources: resources, mesh: live.NewMesh(), stop: make(chan struct{})}
+	c.qcond = sync.NewCond(&c.mu)
 	for i := 1; i <= n; i++ {
 		m := &member{
 			id:        core.ProcessID(i),
 			tr:        c.mesh.Endpoint(core.ProcessID(i)),
 			instances: make(map[string]*live.Instance),
 			pending:   make(map[string][]live.Envelope),
+			decided:   make(map[string]struct{}),
 		}
 		m.tr.SetHandler(m.deliver)
 		c.members = append(c.members, m)
@@ -61,8 +80,15 @@ func (m *member) deliver(e live.Envelope) {
 	m.mu.Lock()
 	inst, ok := m.instances[e.TxID]
 	if !ok {
-		// The instance for this transaction does not exist yet (Commit is
-		// still wiring members up); buffer — perfect links do not lose
+		if _, done := m.decided[e.TxID]; done {
+			// Straggler for a finished transaction (e.g. a helper reply
+			// arriving after the decision): drop it, or it would sit in
+			// pending forever.
+			m.mu.Unlock()
+			return
+		}
+		// The instance for this transaction does not exist yet (the runner
+		// is still wiring members up); buffer — perfect links do not lose
 		// messages.
 		m.pending[e.TxID] = append(m.pending[e.TxID], e)
 		m.mu.Unlock()
@@ -72,23 +98,54 @@ func (m *member) deliver(e live.Envelope) {
 	inst.Deliver(e)
 }
 
-// Commit runs one atomic commit instance across all participants: every
-// resource is asked to Prepare (its vote), the configured protocol decides,
-// and Commit/Abort callbacks fire on every participant. It returns the
-// decision (true = committed).
-//
-// The returned error reports infrastructure problems (context expiry before
-// a decision, closed cluster); a unanimous abort is a normal outcome, not an
-// error.
-func (c *Cluster) Commit(ctx context.Context, txID string) (bool, error) {
+// retire forgets a finished transaction: the instance, any buffered
+// stragglers, and — bounded by retiredHistory — remembers the txID so later
+// stragglers are dropped rather than re-buffered.
+func (m *member) retire(txID string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.instances, txID)
+	delete(m.pending, txID)
+	if _, ok := m.decided[txID]; ok {
+		return
+	}
+	m.decided[txID] = struct{}{}
+	m.retired = append(m.retired, txID)
+	if len(m.retired) > retiredHistory {
+		delete(m.decided, m.retired[0])
+		m.retired = m.retired[1:]
+	}
+}
+
+// txnRun is one transaction's lifecycle across every member: instance
+// creation, spontaneous start, pending flush, decision gather, and resource
+// callbacks. Commit runs one synchronously; the pipeline dispatcher runs
+// many concurrently.
+type txnRun struct {
+	c     *Cluster
+	txID  string
+	insts []*live.Instance
+}
+
+// nextTxID allocates a fresh transaction ID when the caller passed "".
+func (c *Cluster) nextTxID(txID string) string {
+	if txID != "" {
+		return txID
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return fmt.Sprintf("tx-%d", c.seq)
+}
+
+// begin creates and spontaneously starts an instance of txID on every
+// member, collecting votes via Prepare and flushing any messages that
+// raced ahead.
+func (c *Cluster) begin(txID string) (*txnRun, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return false, fmt.Errorf("commit: cluster closed")
-	}
-	if txID == "" {
-		c.seq++
-		txID = fmt.Sprintf("tx-%d", c.seq)
+		return nil, fmt.Errorf("commit: cluster closed")
 	}
 	members := c.members
 	c.mu.Unlock()
@@ -129,20 +186,22 @@ func (c *Cluster) Commit(ctx context.Context, txID string) (bool, error) {
 			inst.Deliver(e)
 		}
 	}
+	return &txnRun{c: c, txID: txID, insts: insts}, nil
+}
 
-	// Phase 3: gather decisions and apply the callbacks.
+// finish gathers every member's decision, applies the resource callbacks,
+// and retires the instances.
+func (r *txnRun) finish(ctx context.Context) (bool, error) {
 	defer func() {
-		for i, m := range members {
-			insts[i].Close()
-			m.mu.Lock()
-			delete(m.instances, txID)
-			m.mu.Unlock()
+		for i, m := range r.c.members {
+			r.insts[i].Close()
+			m.retire(r.txID)
 		}
 	}()
 
 	var first core.Value
-	for i := range members {
-		v, err := insts[i].Wait(ctx)
+	for i := range r.c.members {
+		v, err := r.insts[i].Wait(ctx)
 		if err != nil {
 			return false, err
 		}
@@ -152,28 +211,49 @@ func (c *Cluster) Commit(ctx context.Context, txID string) (bool, error) {
 			// Cannot happen for protocols whose contract includes
 			// agreement in the executions the deployment can produce;
 			// surfacing it beats hiding it.
-			return false, fmt.Errorf("commit: agreement violation on %s: %v vs %v", txID, first, v)
+			return false, fmt.Errorf("commit: agreement violation on %s: %v vs %v", r.txID, first, v)
 		}
 	}
-	for i := range members {
+	for i := range r.c.members {
 		if first == core.Commit {
-			c.resources[i].Commit(txID)
+			r.c.resources[i].Commit(r.txID)
 		} else {
-			c.resources[i].Abort(txID)
+			r.c.resources[i].Abort(r.txID)
 		}
 	}
 	return first == core.Commit, nil
 }
 
-// Close shuts the cluster down; in-flight Commit calls may fail.
+// Commit runs one atomic commit instance across all participants: every
+// resource is asked to Prepare (its vote), the configured protocol decides,
+// and Commit/Abort callbacks fire on every participant. It returns the
+// decision (true = committed).
+//
+// The returned error reports infrastructure problems (context expiry before
+// a decision, closed cluster); a unanimous abort is a normal outcome, not an
+// error.
+func (c *Cluster) Commit(ctx context.Context, txID string) (bool, error) {
+	r, err := c.begin(c.nextTxID(txID))
+	if err != nil {
+		return false, err
+	}
+	return r.finish(ctx)
+}
+
+// Close shuts the cluster down; in-flight Commit calls may fail, and queued
+// pipeline submissions resolve with an error.
 func (c *Cluster) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return
 	}
 	c.closed = true
-	for _, m := range c.members {
+	close(c.stop)
+	c.qcond.Broadcast()
+	members := c.members
+	c.mu.Unlock()
+	for _, m := range members {
 		m.tr.Close()
 	}
 }

@@ -99,6 +99,10 @@ type Options struct {
 	Timeout time.Duration
 	// Accelerated enables INBAC's one-delay abort fast path (section 5.2).
 	Accelerated bool
+	// MaxInFlight bounds how many pipelined transactions (Submit,
+	// CommitMany) run concurrently; submissions beyond the window queue in
+	// order. Defaults to 64. Synchronous Commit calls are not window-gated.
+	MaxInFlight int
 }
 
 func (o Options) withDefaults(n int) (Options, error) {
@@ -110,6 +114,12 @@ func (o Options) withDefaults(n int) (Options, error) {
 	}
 	if o.Timeout == 0 {
 		o.Timeout = 50 * time.Millisecond
+	}
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = 64
+	}
+	if o.MaxInFlight < 0 {
+		return o, fmt.Errorf("commit: MaxInFlight must be positive, got %d", o.MaxInFlight)
 	}
 	if n < 2 {
 		return o, fmt.Errorf("commit: need at least 2 participants, got %d", n)

@@ -41,12 +41,13 @@ func ctx(t *testing.T) context.Context {
 }
 
 func TestClusterCommitAllProtocols(t *testing.T) {
+	t.Parallel()
 	for _, name := range Protocols() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			rs, crs := resources(true, true, true)
-			cl, err := NewCluster(rs, Options{Protocol: Protocol(name), F: 1, Timeout: 150 * time.Millisecond})
+			cl, err := NewCluster(rs, Options{Protocol: Protocol(name), F: 1, Timeout: 50 * time.Millisecond})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -68,12 +69,13 @@ func TestClusterCommitAllProtocols(t *testing.T) {
 }
 
 func TestClusterAbortAllProtocols(t *testing.T) {
+	t.Parallel()
 	for _, name := range Protocols() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			rs, crs := resources(true, false, true)
-			cl, err := NewCluster(rs, Options{Protocol: Protocol(name), F: 1, Timeout: 150 * time.Millisecond})
+			cl, err := NewCluster(rs, Options{Protocol: Protocol(name), F: 1, Timeout: 50 * time.Millisecond})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -103,8 +105,9 @@ func TestClusterAbortAllProtocols(t *testing.T) {
 }
 
 func TestClusterSequentialTransactions(t *testing.T) {
+	t.Parallel()
 	rs, crs := resources(true, true, true, true)
-	cl, err := NewCluster(rs, Options{Timeout: 30 * time.Millisecond})
+	cl, err := NewCluster(rs, Options{Timeout: 20 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,6 +127,7 @@ func TestClusterSequentialTransactions(t *testing.T) {
 // timeout unit — indulgence means correctness survives even if the bound is
 // occasionally violated.
 func TestClusterINBACWithJitter(t *testing.T) {
+	t.Parallel()
 	rs, _ := resources(true, true, true, true, true)
 	cl, err := NewCluster(rs, Options{Protocol: INBAC, F: 2, Timeout: 30 * time.Millisecond})
 	if err != nil {
@@ -142,8 +146,9 @@ func TestClusterINBACWithJitter(t *testing.T) {
 // indulgent protocol must still terminate (F=2 > 1 member down, majority
 // alive) — the scenario where 2PC would block forever.
 func TestClusterINBACSurvivesPartitionedMember(t *testing.T) {
+	t.Parallel()
 	rs, crs := resources(true, true, true, true, true)
-	cl, err := NewCluster(rs, Options{Protocol: INBAC, F: 2, Timeout: 30 * time.Millisecond})
+	cl, err := NewCluster(rs, Options{Protocol: INBAC, F: 2, Timeout: 25 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +159,7 @@ func TestClusterINBACSurvivesPartitionedMember(t *testing.T) {
 	// rather than through Cluster.Commit (which waits for everyone).
 	// Simplest: use a context deadline and accept the error, then check
 	// the reachable members' callbacks.
-	c, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	c, cancel := context.WithTimeout(context.Background(), 800*time.Millisecond)
 	defer cancel()
 	_, err = cl.Commit(c, "partitioned")
 	if err == nil {
@@ -175,6 +180,7 @@ func TestClusterINBACSurvivesPartitionedMember(t *testing.T) {
 }
 
 func TestOptionsValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewCluster(nil, Options{}); err == nil {
 		t.Error("0 participants must fail")
 	}
@@ -191,6 +197,7 @@ func TestOptionsValidation(t *testing.T) {
 }
 
 func TestResourceFuncDefaults(t *testing.T) {
+	t.Parallel()
 	var r Resource = ResourceFunc{}
 	if !r.Prepare("x") {
 		t.Error("default Prepare must vote yes")
@@ -208,6 +215,7 @@ func TestResourceFuncDefaults(t *testing.T) {
 }
 
 func TestSimulateFacade(t *testing.T) {
+	t.Parallel()
 	// Nice execution of INBAC: the Table 5 row, programmatically.
 	rep, err := Simulate(INBAC, Scenario{N: 5, F: 2})
 	if err != nil {
@@ -260,6 +268,7 @@ func TestSimulateFacade(t *testing.T) {
 }
 
 func TestPeerTCPCommit(t *testing.T) {
+	t.Parallel()
 	n := 3
 	// Bind ephemeral listeners first to learn the addresses.
 	addrs := make([]string, n)
@@ -310,6 +319,7 @@ func TestPeerTCPCommit(t *testing.T) {
 }
 
 func TestPeerTCPAbortVote(t *testing.T) {
+	t.Parallel()
 	n := 3
 	addrs := make([]string, n)
 	for i := range addrs {

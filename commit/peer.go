@@ -4,10 +4,19 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"atomiccommit/internal/core"
 	"atomiccommit/internal/live"
 )
+
+// retireGraceUnits is how many timeout units a peer keeps a decided
+// instance alive before retiring it. Unlike a Cluster (which observes every
+// member's decision), a peer only knows its own, and other peers may still
+// need its help to terminate (helper/termination messages). After the
+// grace, a straggler sees this peer as crashed for that instance — the
+// failure model the protocols already tolerate.
+const retireGraceUnits = 8
 
 // beginPath is the reserved envelope path announcing a transaction to peers
 // that have not started an instance for it yet.
@@ -36,6 +45,8 @@ type Peer struct {
 	instances map[string]*live.Instance
 	pending   map[string][]live.Envelope
 	started   map[string]bool
+	decided   map[string]core.Value // outcomes of retired transactions
+	retired   []string              // FIFO eviction order for decided
 	closed    bool
 }
 
@@ -58,6 +69,7 @@ func NewPeer(id int, addrs []string, resource Resource, opts Options) (*Peer, er
 		instances: make(map[string]*live.Instance),
 		pending:   make(map[string][]live.Envelope),
 		started:   make(map[string]bool),
+		decided:   make(map[string]core.Value),
 	}
 	tcp.SetHandler(p.deliver)
 	return p, nil
@@ -67,11 +79,18 @@ func NewPeer(id int, addrs []string, resource Resource, opts Options) (*Peer, er
 func (p *Peer) Addr() string { return p.tcp.Addr() }
 
 func (p *Peer) deliver(e live.Envelope) {
+	p.mu.Lock()
+	if _, done := p.decided[e.TxID]; done {
+		// Straggler for a retired transaction: drop it, or it would sit
+		// in pending forever.
+		p.mu.Unlock()
+		return
+	}
 	if e.Path == beginPath {
+		p.mu.Unlock()
 		p.ensureInstance(e.TxID)
 		return
 	}
-	p.mu.Lock()
 	inst, ok := p.instances[e.TxID]
 	if !ok {
 		p.pending[e.TxID] = append(p.pending[e.TxID], e)
@@ -86,6 +105,26 @@ func (p *Peer) deliver(e live.Envelope) {
 	inst.Deliver(e)
 }
 
+// retire forgets a decided transaction's instance and buffered stragglers,
+// remembering its outcome (bounded by retiredHistory) so late messages are
+// dropped and Wait/Commit replays still answer from the cache.
+func (p *Peer) retire(txID string, v core.Value) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.instances, txID)
+	delete(p.pending, txID)
+	delete(p.started, txID)
+	if _, ok := p.decided[txID]; ok {
+		return
+	}
+	p.decided[txID] = v
+	p.retired = append(p.retired, txID)
+	if len(p.retired) > retiredHistory {
+		delete(p.decided, p.retired[0])
+		p.retired = p.retired[1:]
+	}
+}
+
 // ensureInstance creates and starts the local instance for txID once,
 // voting via the Resource, then flushes buffered messages.
 func (p *Peer) ensureInstance(txID string) *live.Instance {
@@ -93,6 +132,10 @@ func (p *Peer) ensureInstance(txID string) *live.Instance {
 	if p.closed {
 		p.mu.Unlock()
 		return nil
+	}
+	if _, ok := p.decided[txID]; ok {
+		p.mu.Unlock()
+		return nil // already decided and retired; the cache answers
 	}
 	if inst, ok := p.instances[txID]; ok {
 		p.mu.Unlock()
@@ -126,14 +169,21 @@ func (p *Peer) ensureInstance(txID string) *live.Instance {
 	for _, e := range pend {
 		inst.Deliver(e)
 	}
-	// Apply the outcome to the resource when the decision lands.
+	// Apply the outcome to the resource when the decision lands, then —
+	// after a grace period for peers that still need this instance's
+	// termination help — retire it so per-transaction state stays bounded.
 	go func() {
 		<-inst.Done()
-		if inst.Outcome() == core.Commit {
+		v := inst.Outcome()
+		if v == core.Commit {
 			p.res.Commit(txID)
 		} else {
 			p.res.Abort(txID)
 		}
+		time.AfterFunc(retireGraceUnits*p.opts.Timeout, func() {
+			inst.Close()
+			p.retire(txID, v)
+		})
 	}()
 	return inst
 }
@@ -151,22 +201,27 @@ func (p *Peer) Commit(ctx context.Context, txID string) (bool, error) {
 			_ = p.tcp.Send(live.Envelope{TxID: txID, From: p.id, To: core.ProcessID(q), Path: beginPath, Msg: beginMsg{}})
 		}
 	}
-	inst := p.ensureInstance(txID)
-	if inst == nil {
-		return false, fmt.Errorf("commit: peer closed")
-	}
-	v, err := inst.Wait(ctx)
-	if err != nil {
-		return false, err
-	}
-	return v == core.Commit, nil
+	return p.await(ctx, txID)
 }
 
 // Wait blocks until this peer's instance for txID (started by any peer)
-// decides.
+// decides. A transaction that already decided and retired answers from the
+// outcome cache.
 func (p *Peer) Wait(ctx context.Context, txID string) (bool, error) {
+	return p.await(ctx, txID)
+}
+
+// await resolves txID's outcome: from the live instance if one exists (or
+// can be started), else from the retired-outcome cache.
+func (p *Peer) await(ctx context.Context, txID string) (bool, error) {
 	inst := p.ensureInstance(txID)
 	if inst == nil {
+		p.mu.Lock()
+		v, ok := p.decided[txID]
+		p.mu.Unlock()
+		if ok {
+			return v == core.Commit, nil
+		}
 		return false, fmt.Errorf("commit: peer closed")
 	}
 	v, err := inst.Wait(ctx)

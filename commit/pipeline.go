@@ -1,0 +1,153 @@
+package commit
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Txn is the future returned by Submit: a handle to one asynchronously
+// running transaction. Wait (or Done + Committed/Err) observes the outcome.
+type Txn struct {
+	// TxID is the transaction's identifier (allocated if Submit got "").
+	TxID string
+
+	ctx   context.Context
+	start time.Time // when the dispatcher began running the transaction
+	end   time.Time
+
+	done      chan struct{}
+	committed bool
+	err       error
+}
+
+// Done is closed once the transaction's outcome is available.
+func (t *Txn) Done() <-chan struct{} { return t.done }
+
+// Committed reports the decision; valid only after Done is closed.
+func (t *Txn) Committed() bool { return t.committed }
+
+// Err returns the infrastructure error, if any; valid only after Done is
+// closed. A unanimous abort is a normal outcome, not an error.
+func (t *Txn) Err() error { return t.err }
+
+// Latency is the wall-clock time from dispatch to decision; valid only
+// after Done is closed. Queueing time behind the in-flight window is
+// excluded, so this measures the protocol, not the backlog.
+func (t *Txn) Latency() time.Duration { return t.end.Sub(t.start) }
+
+// Wait blocks until the transaction decides or ctx expires, returning the
+// decision (true = committed).
+func (t *Txn) Wait(ctx context.Context) (bool, error) {
+	select {
+	case <-t.done:
+		return t.committed, t.err
+	case <-ctx.Done():
+		return false, fmt.Errorf("commit: wait %s: %w", t.TxID, ctx.Err())
+	}
+}
+
+func (t *Txn) resolve(ok bool, err error) {
+	t.end = time.Now()
+	t.committed, t.err = ok, err
+	close(t.done)
+}
+
+// Submit enqueues one transaction on the commit pipeline and returns a
+// future immediately. The pipeline's dispatcher runs up to
+// Options.MaxInFlight transactions concurrently, each a full protocol
+// instance with its own per-member state (instances are routed by TxID);
+// submissions beyond the window queue in order.
+//
+// ctx bounds the transaction itself: if it expires while the transaction is
+// queued or running, the future resolves with its error. Resources must be
+// safe for concurrent use once transactions are pipelined, and callers must
+// not reuse a txID that is in flight or recently decided.
+func (c *Cluster) Submit(ctx context.Context, txID string) *Txn {
+	t := &Txn{TxID: c.nextTxID(txID), ctx: ctx, done: make(chan struct{})}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		t.start = time.Now()
+		t.resolve(false, fmt.Errorf("commit: cluster closed"))
+		return t
+	}
+	if !c.dispatching {
+		c.dispatching = true
+		go c.dispatch()
+	}
+	c.queue = append(c.queue, t)
+	c.qcond.Signal()
+	c.mu.Unlock()
+	return t
+}
+
+// CommitMany submits every txID (allocating IDs for empty strings) and
+// waits for all of them. results[i] is txIDs[i]'s decision; the first
+// per-transaction error, if any, is returned after every future resolved.
+func (c *Cluster) CommitMany(ctx context.Context, txIDs []string) ([]bool, error) {
+	txns := make([]*Txn, len(txIDs))
+	for i, id := range txIDs {
+		txns[i] = c.Submit(ctx, id)
+	}
+	results := make([]bool, len(txns))
+	var firstErr error
+	for i, t := range txns {
+		ok, err := t.Wait(ctx)
+		results[i] = ok
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return results, firstErr
+}
+
+// dispatch is the pipeline's dispatcher loop: it pulls submissions off the
+// queue in order and runs each through the shared transaction runner
+// (begin/finish in cluster.go), admitting at most MaxInFlight at a time.
+// It exits when the cluster closes, resolving whatever is still queued.
+func (c *Cluster) dispatch() {
+	window := make(chan struct{}, c.opts.MaxInFlight)
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed {
+			c.qcond.Wait()
+		}
+		if c.closed {
+			queue := c.queue
+			c.queue = nil
+			c.mu.Unlock()
+			for _, t := range queue {
+				t.start = time.Now()
+				t.resolve(false, fmt.Errorf("commit: cluster closed"))
+			}
+			return
+		}
+		t := c.queue[0]
+		c.queue = c.queue[1:]
+		c.mu.Unlock()
+
+		select {
+		case window <- struct{}{}:
+		case <-t.ctx.Done():
+			t.start = time.Now()
+			t.resolve(false, fmt.Errorf("commit: submit %s: %w", t.TxID, t.ctx.Err()))
+			continue
+		case <-c.stop:
+			t.start = time.Now()
+			t.resolve(false, fmt.Errorf("commit: cluster closed"))
+			continue
+		}
+		go func(t *Txn) {
+			defer func() { <-window }()
+			t.start = time.Now()
+			r, err := c.begin(t.TxID)
+			if err != nil {
+				t.resolve(false, err)
+				return
+			}
+			ok, err := r.finish(t.ctx)
+			t.resolve(ok, err)
+		}(t)
+	}
+}

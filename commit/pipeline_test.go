@@ -1,0 +1,267 @@
+package commit
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/live"
+)
+
+// TestSubmitConcurrentTransactions floods one cluster with concurrent
+// submissions from many goroutines — well past the in-flight window — and
+// checks every transaction commits and every callback fired exactly once.
+// Run under -race this is the pipeline's main interleaving test.
+func TestSubmitConcurrentTransactions(t *testing.T) {
+	t.Parallel()
+	const total = 120
+	rs, crs := resources(true, true, true)
+	cl, err := NewCluster(rs, Options{Timeout: 20 * time.Millisecond, MaxInFlight: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, total)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < total/4; i++ {
+				txn := cl.Submit(ctx(t), fmt.Sprintf("conc-%d-%d", g, i))
+				ok, err := txn.Wait(ctx(t))
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", txn.TxID, err)
+				} else if !ok {
+					errs <- fmt.Errorf("%s: unexpected abort", txn.TxID)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for i, cr := range crs {
+		if got := cr.commits.Load(); got != total {
+			t.Errorf("resource %d: %d commits, want %d", i, got, total)
+		}
+		if got := cr.aborts.Load(); got != 0 {
+			t.Errorf("resource %d: %d aborts, want 0", i, got)
+		}
+	}
+}
+
+func TestCommitManyMixedVotes(t *testing.T) {
+	t.Parallel()
+	// Resource 1 rejects transactions with a "no-" prefix.
+	reject := ResourceFunc{PrepareFn: func(txID string) bool { return len(txID) < 3 || txID[:3] != "no-" }}
+	rs := []Resource{ResourceFunc{}, reject, ResourceFunc{}}
+	cl, err := NewCluster(rs, Options{Protocol: TwoPC, Timeout: 20 * time.Millisecond, MaxInFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ids := []string{"yes-1", "no-1", "yes-2", "no-2", "yes-3"}
+	oks, err := cl.CommitMany(ctx(t), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, false, true}
+	for i := range ids {
+		if oks[i] != want[i] {
+			t.Errorf("%s: committed=%v want %v", ids[i], oks[i], want[i])
+		}
+	}
+}
+
+func TestSubmitAllocatesTxIDs(t *testing.T) {
+	t.Parallel()
+	rs, _ := resources(true, true)
+	cl, err := NewCluster(rs, Options{Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	a := cl.Submit(ctx(t), "")
+	b := cl.Submit(ctx(t), "")
+	if a.TxID == "" || b.TxID == "" || a.TxID == b.TxID {
+		t.Fatalf("allocated IDs must be distinct and non-empty: %q %q", a.TxID, b.TxID)
+	}
+	for _, txn := range []*Txn{a, b} {
+		if ok, err := txn.Wait(ctx(t)); err != nil || !ok {
+			t.Fatalf("%s: ok=%v err=%v", txn.TxID, ok, err)
+		}
+	}
+}
+
+func TestSubmitAfterCloseResolvesWithError(t *testing.T) {
+	t.Parallel()
+	rs, _ := resources(true, true)
+	cl, err := NewCluster(rs, Options{Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	txn := cl.Submit(ctx(t), "late")
+	if ok, err := txn.Wait(ctx(t)); err == nil || ok {
+		t.Fatalf("submit on a closed cluster must error: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestSubmitQueuedContextExpiry(t *testing.T) {
+	t.Parallel()
+	// Window of 1 and a resource whose Prepare stalls: the second
+	// submission sits in the queue until its context expires.
+	gate := make(chan struct{})
+	var once sync.Once
+	slow := ResourceFunc{PrepareFn: func(txID string) bool {
+		if txID == "stall" {
+			once.Do(func() { <-gate })
+		}
+		return true
+	}}
+	defer close(gate)
+	rs := []Resource{slow, ResourceFunc{}}
+	cl, err := NewCluster(rs, Options{Timeout: 20 * time.Millisecond, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	first := cl.Submit(ctx(t), "stall")
+	short, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	second := cl.Submit(short, "queued")
+	if ok, err := second.Wait(ctx(t)); err == nil || ok {
+		t.Fatalf("queued submission must resolve with its context error: ok=%v err=%v", ok, err)
+	}
+	_ = first // resolves once gate closes at cleanup
+}
+
+// TestStragglerEnvelopeDropped exercises the late-envelope fix: after a
+// transaction retires, a straggler message for its txID must be dropped,
+// not re-buffered into the pending map (where it would leak forever).
+func TestStragglerEnvelopeDropped(t *testing.T) {
+	t.Parallel()
+	rs, _ := resources(true, true, true)
+	cl, err := NewCluster(rs, Options{Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if ok, err := cl.Commit(ctx(t), "done-tx"); err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+
+	m := cl.members[0]
+	m.deliver(live.Envelope{TxID: "done-tx", From: 2, To: 1, Msg: straggler{}})
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if got := len(m.pending["done-tx"]); got != 0 {
+		t.Fatalf("straggler for a retired txID leaked into pending (%d buffered)", got)
+	}
+	if _, ok := m.decided["done-tx"]; !ok {
+		t.Fatal("retired txID must be remembered in the decided set")
+	}
+	if len(m.instances) != 0 {
+		t.Fatalf("instances must be retired, %d left", len(m.instances))
+	}
+}
+
+// TestRetiredHistoryEviction checks the decided set stays bounded.
+func TestRetiredHistoryEviction(t *testing.T) {
+	t.Parallel()
+	m := &member{
+		instances: make(map[string]*live.Instance),
+		pending:   make(map[string][]live.Envelope),
+		decided:   make(map[string]struct{}),
+	}
+	for i := 0; i < retiredHistory+10; i++ {
+		m.retire(fmt.Sprintf("tx-%d", i))
+	}
+	if len(m.decided) != retiredHistory || len(m.retired) != retiredHistory {
+		t.Fatalf("decided set must cap at %d, got %d/%d", retiredHistory, len(m.decided), len(m.retired))
+	}
+	if _, ok := m.decided["tx-0"]; ok {
+		t.Fatal("oldest txID must be evicted")
+	}
+}
+
+type straggler struct{}
+
+func (straggler) Kind() string { return "STRAGGLER" }
+
+var _ core.Message = straggler{}
+
+// TestPeerRetiresDecidedInstances: a peer must bound its per-transaction
+// state — after the decision plus the retire grace, the instance is gone,
+// yet Wait still answers from the outcome cache and stragglers are dropped.
+func TestPeerRetiresDecidedInstances(t *testing.T) {
+	t.Parallel()
+	n := 3
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", 38400+i)
+	}
+	var peers []*Peer
+	for i := 1; i <= n; i++ {
+		p, err := NewPeer(i, addrs, &countingResource{vote: true}, Options{Protocol: INBAC, F: 1, Timeout: 25 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		peers = append(peers, p)
+	}
+	ok, err := peers[0].Commit(ctx(t), "retire-tx")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+
+	// All peers retire within the grace (8U = 200ms here) of their own
+	// decisions; poll with a generous deadline.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, p := range peers {
+		for {
+			p.mu.Lock()
+			gone := len(p.instances) == 0 && len(p.pending) == 0 && len(p.started) == 0
+			_, cached := p.decided["retire-tx"]
+			p.mu.Unlock()
+			if gone && cached {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("peer %v did not retire: gone=%v cached=%v", p.id, gone, cached)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Wait after retirement answers from the cache, without resurrecting
+	// an instance.
+	for _, p := range peers {
+		if okC, err := p.Wait(ctx(t), "retire-tx"); err != nil || !okC {
+			t.Fatalf("peer %v cached outcome: ok=%v err=%v", p.id, okC, err)
+		}
+		p.mu.Lock()
+		resurrected := len(p.instances) != 0
+		p.mu.Unlock()
+		if resurrected {
+			t.Fatalf("peer %v resurrected a retired instance", p.id)
+		}
+	}
+
+	// A straggler for the retired transaction is dropped, not buffered.
+	peers[0].deliver(live.Envelope{TxID: "retire-tx", From: 2, To: 1, Msg: straggler{}})
+	peers[0].mu.Lock()
+	defer peers[0].mu.Unlock()
+	if got := len(peers[0].pending["retire-tx"]); got != 0 {
+		t.Fatalf("straggler leaked into pending (%d buffered)", got)
+	}
+}

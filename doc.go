@@ -3,7 +3,11 @@
 //
 // The public API lives in the commit subpackage; the protocols, the
 // deterministic simulator, the consensus substrate and the benchmark harness
-// live under internal/. See README.md for a tour, DESIGN.md for the system
+// live under internal/. Beyond one-at-a-time commit.Cluster.Commit, the
+// pipeline API (commit.Cluster.Submit, Txn.Wait, commit.Cluster.CommitMany)
+// runs many transactions concurrently under a configurable in-flight window
+// — the throughput path; see commit/pipeline.go and the commitbench
+// -throughput mode. See README.md for a tour, DESIGN.md for the system
 // inventory, and EXPERIMENTS.md for the paper-vs-measured record of every
 // table and figure. The benchmarks in bench_test.go regenerate the paper's
 // evaluation (go test -bench=. -benchmem).

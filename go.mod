@@ -1,0 +1,3 @@
+module atomiccommit
+
+go 1.22

@@ -3,6 +3,7 @@ package bench
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 var sweep = [][2]int{{3, 1}, {3, 2}, {5, 2}, {7, 3}, {8, 1}, {9, 4}, {12, 5}}
@@ -186,5 +187,29 @@ func TestBlockingDemoRenders(t *testing.T) {
 	}
 	if !strings.Contains(out, "inbac") {
 		t.Errorf("demo must include inbac:\n%s", out)
+	}
+}
+
+func TestThroughputHarness(t *testing.T) {
+	rows, out, err := Throughput(ThroughputConfig{
+		Protocols: []string{"2pc"}, Depths: []int{1, 8}, Txns: 24,
+		N: 3, F: 1, Timeout: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TxnsPerSec <= 0 || r.P50 <= 0 || r.P99 < r.P50 {
+			t.Errorf("implausible row %+v", r)
+		}
+	}
+	if rows[1].SpeedupVsSerial <= 1 {
+		t.Errorf("depth 8 must beat serial: %+v", rows[1])
+	}
+	if !strings.Contains(out, "2pc") || !strings.Contains(out, "speedup") {
+		t.Errorf("table rendering:\n%s", out)
 	}
 }

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"atomiccommit/commit"
+)
+
+// ThroughputRow is one throughput data point: one protocol driven with a
+// fixed number of transactions at one in-flight depth on the in-memory
+// mesh. Depth 1 is the serial baseline (a plain Commit loop); deeper rows
+// go through the pipeline (Cluster.Submit).
+type ThroughputRow struct {
+	Protocol string
+	N, F     int
+	Depth    int
+	Txns     int
+
+	TxnsPerSec float64
+	// Per-transaction protocol latency percentiles (dispatch to decision;
+	// queueing behind the window is excluded).
+	P50, P95, P99 time.Duration
+	// Aborted counts transactions that decided abort. All votes are yes, so
+	// any abort is an indulgent protocol's legal reaction to a violated
+	// timing bound under load (the run stays safe; it just aborts).
+	Aborted int
+
+	// SpeedupVsSerial is TxnsPerSec over the depth-1 row of the same
+	// protocol (1 for the baseline itself).
+	SpeedupVsSerial float64
+}
+
+// ThroughputConfig parameterizes a throughput run.
+type ThroughputConfig struct {
+	Protocols []string      // registry names; empty = {"inbac", "2pc"}
+	Depths    []int         // in-flight windows; empty = {1, 4, 16, 64}
+	Txns      int           // transactions per data point; 0 = 256
+	N, F      int           // cluster size / resilience; 0 = 4, 1
+	Timeout   time.Duration // protocol timeout unit; 0 = 5ms
+}
+
+func (c ThroughputConfig) withDefaults() ThroughputConfig {
+	if len(c.Protocols) == 0 {
+		c.Protocols = []string{"inbac", "2pc"}
+	}
+	if len(c.Depths) == 0 {
+		c.Depths = []int{1, 4, 16, 64}
+	}
+	if c.Txns <= 0 {
+		c.Txns = 256
+	}
+	if c.N <= 0 {
+		c.N = 4
+	}
+	if c.F <= 0 {
+		c.F = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Millisecond
+	}
+	return c
+}
+
+// Throughput measures commit throughput and latency percentiles per
+// protocol and in-flight depth: the latency/throughput tension of Didona et
+// al. rendered on this repository's live runtime. It returns structured
+// rows plus a formatted table.
+func Throughput(cfg ThroughputConfig) ([]ThroughputRow, string, error) {
+	cfg = cfg.withDefaults()
+	var rows []ThroughputRow
+	for _, name := range cfg.Protocols {
+		first := len(rows)
+		serial := 0.0
+		for _, depth := range cfg.Depths {
+			row, err := throughputPoint(name, depth, cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			if depth == 1 {
+				serial = row.TxnsPerSec
+			}
+			rows = append(rows, row)
+		}
+		// The baseline may appear anywhere in Depths (or be absent, leaving
+		// the speedup at 0): fill the column only once it is known.
+		if serial > 0 {
+			for i := first; i < len(rows); i++ {
+				rows[i].SpeedupVsSerial = rows[i].TxnsPerSec / serial
+			}
+		}
+	}
+
+	var t table
+	t.title(fmt.Sprintf("Commit throughput vs in-flight depth (n=%d f=%d, %d txns/point, U=%v)",
+		cfg.N, cfg.F, cfg.Txns, cfg.Timeout))
+	t.row("%-12s %6s %10s %10s %10s %10s %9s %7s", "protocol", "depth", "txn/s", "p50", "p95", "p99", "speedup", "aborts")
+	for _, r := range rows {
+		t.row("%-12s %6d %10.0f %10s %10s %10s %8.1fx %7d",
+			r.Protocol, r.Depth, r.TxnsPerSec, r.P50.Round(time.Microsecond),
+			r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.SpeedupVsSerial, r.Aborted)
+	}
+	return rows, t.String(), nil
+}
+
+// throughputPoint runs one (protocol, depth) cell on a fresh in-memory
+// cluster. Depth 1 is a serial Commit loop — the baseline the pipeline's
+// speedup is quoted against.
+func throughputPoint(name string, depth int, cfg ThroughputConfig) (ThroughputRow, error) {
+	rs := make([]commit.Resource, cfg.N)
+	for i := range rs {
+		rs[i] = commit.ResourceFunc{}
+	}
+	cl, err := commit.NewCluster(rs, commit.Options{
+		Protocol: commit.Protocol(name), F: cfg.F, Timeout: cfg.Timeout, MaxInFlight: depth})
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	latencies := make([]time.Duration, 0, cfg.Txns)
+	aborted := 0
+	begin := time.Now()
+	if depth == 1 {
+		for i := 0; i < cfg.Txns; i++ {
+			start := time.Now()
+			ok, err := cl.Commit(ctx, fmt.Sprintf("%s-serial-%d", name, i))
+			if err != nil {
+				return ThroughputRow{}, fmt.Errorf("bench: %s serial txn %d: %w", name, i, err)
+			}
+			if !ok {
+				aborted++
+			}
+			latencies = append(latencies, time.Since(start))
+		}
+	} else {
+		txns := make([]*commit.Txn, cfg.Txns)
+		for i := range txns {
+			txns[i] = cl.Submit(ctx, fmt.Sprintf("%s-d%d-%d", name, depth, i))
+		}
+		for i, t := range txns {
+			ok, err := t.Wait(ctx)
+			if err != nil {
+				return ThroughputRow{}, fmt.Errorf("bench: %s depth %d txn %d: %w", name, depth, i, err)
+			}
+			if !ok {
+				aborted++
+			}
+			latencies = append(latencies, t.Latency())
+		}
+	}
+	elapsed := time.Since(begin)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	return ThroughputRow{
+		Protocol: name, N: cfg.N, F: cfg.F, Depth: depth, Txns: cfg.Txns,
+		TxnsPerSec: float64(cfg.Txns) / elapsed.Seconds(),
+		P50:        pct(0.50), P95: pct(0.95), P99: pct(0.99),
+		Aborted: aborted,
+	}, nil
+}

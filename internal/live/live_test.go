@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -195,6 +196,178 @@ func TestTCPSendToDeadPeerIsSilent(t *testing.T) {
 	defer tr.Close()
 	if err := tr.Send(Envelope{From: 1, To: 2, Msg: echoMsg{}}); err != nil {
 		t.Fatalf("unreachable peers must look crashed (silent), got %v", err)
+	}
+}
+
+// TestTCPPeerDiesMidStream: a peer that vanishes after traffic flowed must
+// look crashed — every later send drops silently (no error, no panic), per
+// the crash-failure model.
+func TestTCPPeerDiesMidStream(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	t2, err := NewTCP(2, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs[1] = t2.Addr()
+	t1, err := NewTCP(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+
+	recv := make(chan Envelope, 16)
+	t2.SetHandler(func(e Envelope) { recv <- e })
+	if err := t1.Send(Envelope{TxID: "a", From: 1, To: 2, Msg: echoMsg{}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-recv:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first send not delivered")
+	}
+
+	// Kill the peer, then keep sending: the writes land in a dead buffer
+	// or fail on flush; either way Send must stay silent.
+	t2.Close()
+	for i := 0; i < 50; i++ {
+		if err := t1.Send(Envelope{TxID: "b", From: 1, To: 2, Msg: echoMsg{}}); err != nil {
+			t.Fatalf("send %d after peer death must be silent, got %v", i, err)
+		}
+	}
+}
+
+// TestTCPConcurrentSendsDuringPeerDeath hammers one connection from many
+// goroutines while the peer dies mid-stream: the teardown (close of the
+// flush-kick channel) must never race a sender into a panic.
+func TestTCPConcurrentSendsDuringPeerDeath(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	t2, err := NewTCP(2, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs[1] = t2.Addr()
+	t1, err := NewTCP(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	t2.SetHandler(func(Envelope) {})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				if err := t1.Send(Envelope{From: 1, To: 2, Msg: echoMsg{}}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	t2.Close() // rip the peer out from under the senders
+	wg.Wait()
+}
+
+// TestTCPBatchedSendsAllDelivered floods the transport from several
+// goroutines: the flush-coalescing loop must deliver every envelope
+// exactly once, in spite of batching.
+func TestTCPBatchedSendsAllDelivered(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	t2, err := NewTCP(2, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+	addrs[1] = t2.Addr()
+	t1, err := NewTCP(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+
+	const senders, per = 8, 250
+	var mu sync.Mutex
+	got := make(map[string]int)
+	t2.SetHandler(func(e Envelope) {
+		mu.Lock()
+		got[e.TxID]++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e := Envelope{TxID: fmt.Sprintf("t-%d-%d", g, i), From: 1, To: 2, Msg: echoMsg{V: core.Commit}}
+				if err := t1.Send(e); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == senders*per || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != senders*per {
+		t.Fatalf("delivered %d distinct envelopes, want %d", len(got), senders*per)
+	}
+	for id, n := range got {
+		if n != 1 {
+			t.Fatalf("envelope %s delivered %d times", id, n)
+		}
+	}
+}
+
+// BenchmarkTCPSend measures transport write throughput with the batched
+// writer (envelopes/op on a loopback connection).
+func BenchmarkTCPSend(b *testing.B) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	t2, err := NewTCP(2, addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer t2.Close()
+	addrs[1] = t2.Addr()
+	t1, err := NewTCP(1, addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer t1.Close()
+
+	var n int64
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	t2.SetHandler(func(Envelope) {
+		if atomic.AddInt64(&n, 1) >= int64(b.N) {
+			closeOnce.Do(func() { close(done) })
+		}
+	})
+	e := Envelope{TxID: "bench", From: 1, To: 2, Msg: echoMsg{V: core.Commit}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := t1.Send(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		b.Fatalf("delivered %d of %d", atomic.LoadInt64(&n), b.N)
 	}
 }
 

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -15,10 +16,20 @@ import (
 // public commit package registers every protocol's messages at init.
 func RegisterMessage(m core.Message) { gob.Register(m) }
 
+// sendBufferSize is the per-connection write buffer. Envelopes are tens to
+// a few hundred bytes, so one flush can carry hundreds of messages.
+const sendBufferSize = 64 << 10
+
 // TCP is the cross-address-space transport: one listener per process, lazy
 // dialing with bounded retries, gob-encoded envelopes. An unreachable peer
 // behaves as crashed (sends are dropped silently), which is precisely the
 // failure model the protocols handle.
+//
+// Writes are batched: Send encodes into a per-connection buffer and a
+// dedicated flush loop pushes it to the socket. While one flush syscall is
+// in progress, concurrent senders keep encoding into the buffer, so a
+// pipeline with thousands of in-flight envelopes pays one syscall per batch
+// rather than one per message; a lone envelope is still flushed immediately.
 type TCP struct {
 	id    core.ProcessID
 	addrs map[core.ProcessID]string
@@ -34,9 +45,30 @@ type TCP struct {
 }
 
 type tcpConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *gob.Encoder
+	c net.Conn
+	// kick (capacity 1) tells the flush loop the buffer is dirty. At most
+	// one kick is pending however many sends encode during a flush — that
+	// is the coalescing. Senders kick only under mu with shutdown checked,
+	// so shut's close(kick) cannot race a send on the channel.
+	kick chan struct{}
+
+	mu       sync.Mutex
+	bw       *bufio.Writer
+	enc      *gob.Encoder
+	err      error // sticky: first encode/flush failure; the conn is dead after
+	shutdown bool
+}
+
+// shut makes the connection unusable and stops its flush loop. Idempotent;
+// safe to call from Send, the flush loop, and Close concurrently.
+func (conn *tcpConn) shut() {
+	conn.mu.Lock()
+	if !conn.shutdown {
+		conn.shutdown = true
+		close(conn.kick)
+	}
+	conn.mu.Unlock()
+	conn.c.Close()
 }
 
 // NewTCP starts a transport for process id: addrs[i-1] is Pi's listen
@@ -97,7 +129,7 @@ func (t *TCP) readLoop(c net.Conn) {
 		t.mu.Unlock()
 		c.Close()
 	}()
-	dec := gob.NewDecoder(c)
+	dec := gob.NewDecoder(bufio.NewReaderSize(c, sendBufferSize))
 	for {
 		var e Envelope
 		if err := dec.Decode(&e); err != nil {
@@ -114,7 +146,8 @@ func (t *TCP) readLoop(c net.Conn) {
 
 // Send implements Transport: lazy connection with a few retries, then give
 // up silently (an unreachable peer is indistinguishable from a crashed one,
-// and that is exactly what the protocols tolerate).
+// and that is exactly what the protocols tolerate). The envelope is encoded
+// into the connection's buffer; the flush loop owns the socket writes.
 func (t *TCP) Send(e Envelope) error {
 	t.mu.Lock()
 	if t.closed {
@@ -132,18 +165,56 @@ func (t *TCP) Send(e Envelope) error {
 		conn = c
 	}
 	conn.mu.Lock()
-	err := conn.enc.Encode(&e)
+	if conn.err == nil {
+		conn.err = conn.enc.Encode(&e)
+	}
+	err := conn.err
+	if err == nil && !conn.shutdown {
+		select {
+		case conn.kick <- struct{}{}:
+		default: // a flush is already pending; it will carry this envelope
+		}
+	}
 	conn.mu.Unlock()
 	if err != nil {
 		// Connection broke: forget it so a future send redials.
-		t.mu.Lock()
-		if t.conns[e.To] == conn {
-			delete(t.conns, e.To)
-		}
-		t.mu.Unlock()
-		conn.c.Close()
+		t.forget(e.To, conn)
 	}
 	return nil
+}
+
+// flushLoop drains the connection's buffer to the socket, one syscall per
+// batch of sends, until the connection shuts or a write fails.
+func (t *TCP) flushLoop(to core.ProcessID, conn *tcpConn) {
+	defer t.wg.Done()
+	for range conn.kick {
+		conn.mu.Lock()
+		if conn.err == nil {
+			conn.err = conn.bw.Flush()
+		}
+		err := conn.err
+		conn.mu.Unlock()
+		if err != nil {
+			t.forget(to, conn)
+			return
+		}
+	}
+	// kick closed: best-effort final flush of whatever was buffered.
+	conn.mu.Lock()
+	if conn.err == nil {
+		conn.err = conn.bw.Flush()
+	}
+	conn.mu.Unlock()
+}
+
+// forget drops a dead connection so the next Send redials.
+func (t *TCP) forget(to core.ProcessID, conn *tcpConn) {
+	t.mu.Lock()
+	if t.conns[to] == conn {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	conn.shut()
 }
 
 func (t *TCP) dial(to core.ProcessID) (*tcpConn, error) {
@@ -163,7 +234,8 @@ func (t *TCP) dial(to core.ProcessID) (*tcpConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn := &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	bw := bufio.NewWriterSize(c, sendBufferSize)
+	conn := &tcpConn{c: c, bw: bw, enc: gob.NewEncoder(bw), kick: make(chan struct{}, 1)}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -175,6 +247,8 @@ func (t *TCP) dial(to core.ProcessID) (*tcpConn, error) {
 		return existing, nil
 	}
 	t.conns[to] = conn
+	t.wg.Add(1)
+	go t.flushLoop(to, conn)
 	return conn, nil
 }
 
@@ -196,7 +270,7 @@ func (t *TCP) Close() error {
 
 	t.ln.Close()
 	for _, c := range conns {
-		c.c.Close()
+		c.shut()
 	}
 	for _, c := range inbound {
 		c.Close()
