@@ -3,7 +3,7 @@
 // simulator and reports the paper's two complexity metrics as custom
 // benchmark metrics: msgs/commit (messages to decision) and delays/commit
 // (message delay units). The numbers must equal the paper's closed forms —
-// see EXPERIMENTS.md for the side-by-side record. The pipeline benchmarks
+// see DESIGN.md, "Measurement conventions". The pipeline benchmarks
 // additionally measure live throughput (txn/s) of concurrent commit
 // instances at several in-flight depths.
 package atomiccommit

@@ -16,6 +16,14 @@
 //
 //	commitbench -throughput
 //	commitbench -throughput -txns 512 -depths 1,16,64,256 -protocols inbac,2pc,paxoscommit
+//
+// KV mode drives the sharded transactional key-value store (package kv):
+// txn/s, latency percentiles, and — the numbers no preset-vote benchmark
+// can produce — the abort rate each protocol induces under real key
+// conflicts, swept across Zipf contention levels:
+//
+//	commitbench -kv
+//	commitbench -kv -kv-thetas 0,0.9,0.99 -kv-keys 64 -kv-protocols inbac,2pc,paxoscommit,3pc
 package main
 
 import (
@@ -43,7 +51,18 @@ func main() {
 		txns       = flag.Int("txns", 256, "throughput mode: transactions per data point")
 		depths     = flag.String("depths", "1,4,16,64", "throughput mode: comma-separated in-flight depths (1 = serial baseline)")
 		protoList  = flag.String("protocols", "inbac,2pc", "throughput mode: comma-separated protocol names")
-		timeout    = flag.Duration("timeout", 5*time.Millisecond, "throughput mode: protocol timeout unit U")
+		timeout    = flag.Duration("timeout", 5*time.Millisecond, "throughput/kv mode: protocol timeout unit U")
+
+		kvMode    = flag.Bool("kv", false, "kv mode: sharded transactional store — txn/s and induced abort rate vs Zipf contention per protocol")
+		kvF       = flag.Int("kv-f", 1, "kv mode: resilience parameter (1 <= f <= shards-1)")
+		kvProtos  = flag.String("kv-protocols", "inbac,2pc,paxoscommit", "kv mode: comma-separated protocol names")
+		kvThetas  = flag.String("kv-thetas", "0,0.7,0.99", "kv mode: comma-separated Zipf skew levels in [0,1)")
+		kvShards  = flag.Int("kv-shards", 4, "kv mode: shard (= participant) count")
+		kvTxns    = flag.Int("kv-txns", 400, "kv mode: transactions per data point")
+		kvWorkers = flag.Int("kv-workers", 24, "kv mode: concurrent committers (= in-flight window)")
+		kvKeys    = flag.Int("kv-keys", 1024, "kv mode: keyspace size (smaller = more contention)")
+		kvOps     = flag.Int("kv-ops", 4, "kv mode: operations per transaction")
+		kvReads   = flag.Float64("kv-readfrac", 0.5, "kv mode: fraction of operations that are reads")
 	)
 	flag.Parse()
 
@@ -113,6 +132,40 @@ func main() {
 		_, s, err := bench.Throughput(bench.ThroughputConfig{
 			Protocols: ps,
 			Depths:    ds, Txns: *txns, N: *n, F: *f, Timeout: *timeout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)
+			os.Exit(1)
+		}
+		show(s)
+	}
+	if *kvMode {
+		var thetas []float64
+		for _, s := range strings.Split(*kvThetas, ",") {
+			th, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || th < 0 || th >= 1 {
+				fmt.Fprintf(os.Stderr, "commitbench: bad theta %q (need [0,1))\n", s)
+				os.Exit(2)
+			}
+			thetas = append(thetas, th)
+		}
+		var ps []string
+		for _, p := range strings.Split(*kvProtos, ",") {
+			ps = append(ps, strings.TrimSpace(p))
+		}
+		readFrac := *kvReads
+		if readFrac == 0 {
+			readFrac = -1 // KVConfig uses 0 as "default"; negative means write-only
+		}
+		if *kvF < 1 || *kvF > *kvShards-1 {
+			fmt.Fprintf(os.Stderr, "commitbench: need 1 <= kv-f <= kv-shards-1 (got shards=%d f=%d)\n", *kvShards, *kvF)
+			os.Exit(2)
+		}
+		_, s, err := bench.KV(bench.KVConfig{
+			Protocols: ps, Thetas: thetas,
+			Shards: *kvShards, F: *kvF, Txns: *kvTxns, Workers: *kvWorkers,
+			Keys: *kvKeys, OpsPerTxn: *kvOps, ReadFrac: readFrac,
+			Timeout: *timeout,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)

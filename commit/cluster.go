@@ -15,6 +15,35 @@ import (
 // accumulating forever in the pending buffer.
 const retiredHistory = 4096
 
+// boundedSet remembers the most recent retiredHistory ids, evicting FIFO:
+// the shared idiom behind straggler dropping (member.decided) and
+// txID-reuse rejection (Cluster.finished). Callers synchronize access.
+type boundedSet struct {
+	m     map[string]struct{}
+	order []string
+}
+
+func newBoundedSet() *boundedSet { return &boundedSet{m: make(map[string]struct{})} }
+
+func (s *boundedSet) has(id string) bool {
+	_, ok := s.m[id]
+	return ok
+}
+
+// add inserts id, evicting the oldest entry beyond retiredHistory.
+// Idempotent.
+func (s *boundedSet) add(id string) {
+	if s.has(id) {
+		return
+	}
+	s.m[id] = struct{}{}
+	s.order = append(s.order, id)
+	if len(s.order) > retiredHistory {
+		delete(s.m, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
 // Cluster runs n participants in one address space over an in-memory
 // network. It is the quickest way to use the library and the substrate of
 // the examples. Commit runs one protocol instance synchronously; Submit and
@@ -28,6 +57,12 @@ type Cluster struct {
 	members []*member
 	closed  bool
 	seq     int
+
+	// txID bookkeeping for the documented reuse rule: an ID may not be
+	// resubmitted while it is in flight, nor after it decided (instances are
+	// routed by txID, so reuse would cross-wire two transactions).
+	inflight map[string]struct{}
+	finished *boundedSet
 
 	// Pipeline state (pipeline.go): a lazily-started dispatcher pulls
 	// submissions off queue and runs them with at most opts.MaxInFlight
@@ -45,8 +80,7 @@ type member struct {
 	mu        sync.Mutex
 	instances map[string]*live.Instance
 	pending   map[string][]live.Envelope
-	decided   map[string]struct{} // recently retired txIDs: stragglers are dropped
-	retired   []string            // FIFO eviction order for decided
+	decided   *boundedSet // recently retired txIDs: stragglers are dropped
 }
 
 // NewCluster builds a cluster with one participant per resource.
@@ -56,7 +90,10 @@ func NewCluster(resources []Resource, opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{opts: opts, resources: resources, mesh: live.NewMesh(), stop: make(chan struct{})}
+	c := &Cluster{
+		opts: opts, resources: resources, mesh: live.NewMesh(), stop: make(chan struct{}),
+		inflight: make(map[string]struct{}), finished: newBoundedSet(),
+	}
 	c.qcond = sync.NewCond(&c.mu)
 	for i := 1; i <= n; i++ {
 		m := &member{
@@ -64,7 +101,7 @@ func NewCluster(resources []Resource, opts Options) (*Cluster, error) {
 			tr:        c.mesh.Endpoint(core.ProcessID(i)),
 			instances: make(map[string]*live.Instance),
 			pending:   make(map[string][]live.Envelope),
-			decided:   make(map[string]struct{}),
+			decided:   newBoundedSet(),
 		}
 		m.tr.SetHandler(m.deliver)
 		c.members = append(c.members, m)
@@ -80,7 +117,7 @@ func (m *member) deliver(e live.Envelope) {
 	m.mu.Lock()
 	inst, ok := m.instances[e.TxID]
 	if !ok {
-		if _, done := m.decided[e.TxID]; done {
+		if m.decided.has(e.TxID) {
 			// Straggler for a finished transaction (e.g. a helper reply
 			// arriving after the decision): drop it, or it would sit in
 			// pending forever.
@@ -106,15 +143,7 @@ func (m *member) retire(txID string) {
 	defer m.mu.Unlock()
 	delete(m.instances, txID)
 	delete(m.pending, txID)
-	if _, ok := m.decided[txID]; ok {
-		return
-	}
-	m.decided[txID] = struct{}{}
-	m.retired = append(m.retired, txID)
-	if len(m.retired) > retiredHistory {
-		delete(m.decided, m.retired[0])
-		m.retired = m.retired[1:]
-	}
+	m.decided.add(txID)
 }
 
 // txnRun is one transaction's lifecycle across every member: instance
@@ -127,15 +156,54 @@ type txnRun struct {
 	insts []*live.Instance
 }
 
-// nextTxID allocates a fresh transaction ID when the caller passed "".
-func (c *Cluster) nextTxID(txID string) string {
-	if txID != "" {
-		return txID
-	}
+// reserveTxID allocates a fresh transaction ID when the caller passed ""
+// (skipping any ID a caller used explicitly) and registers it as in flight.
+// A caller-supplied ID that is already in flight or recently decided is
+// rejected: instances are routed by txID, so reuse would cross-wire two
+// transactions.
+func (c *Cluster) reserveTxID(txID string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.seq++
-	return fmt.Sprintf("tx-%d", c.seq)
+	if txID == "" {
+		for {
+			c.seq++
+			txID = fmt.Sprintf("tx-%d", c.seq)
+			if !c.used(txID) {
+				break
+			}
+		}
+	} else if _, ok := c.inflight[txID]; ok {
+		return "", fmt.Errorf("commit: txID %q is already in flight", txID)
+	} else if c.finished.has(txID) {
+		return "", fmt.Errorf("commit: txID %q was already decided", txID)
+	}
+	c.inflight[txID] = struct{}{}
+	return txID, nil
+}
+
+func (c *Cluster) used(txID string) bool {
+	if _, ok := c.inflight[txID]; ok {
+		return true
+	}
+	return c.finished.has(txID)
+}
+
+// unreserve releases a reserved txID that never reached a protocol instance
+// (begin failed, or the submission expired in the queue): the ID may be
+// reused.
+func (c *Cluster) unreserve(txID string) {
+	c.mu.Lock()
+	delete(c.inflight, txID)
+	c.mu.Unlock()
+}
+
+// markFinished moves a decided txID from the in-flight set to the bounded
+// finished set, where resubmissions keep being rejected.
+func (c *Cluster) markFinished(txID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.inflight, txID)
+	c.finished.add(txID)
 }
 
 // begin creates and spontaneously starts an instance of txID on every
@@ -197,6 +265,7 @@ func (r *txnRun) finish(ctx context.Context) (bool, error) {
 			r.insts[i].Close()
 			m.retire(r.txID)
 		}
+		r.c.markFinished(r.txID)
 	}()
 
 	var first core.Value
@@ -230,11 +299,20 @@ func (r *txnRun) finish(ctx context.Context) (bool, error) {
 // decision (true = committed).
 //
 // The returned error reports infrastructure problems (context expiry before
-// a decision, closed cluster); a unanimous abort is a normal outcome, not an
-// error.
+// a decision, closed cluster, a txID that is already in flight or recently
+// decided); a unanimous abort is a normal outcome, not an error. A nil ctx
+// defaults to context.Background().
 func (c *Cluster) Commit(ctx context.Context, txID string) (bool, error) {
-	r, err := c.begin(c.nextTxID(txID))
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	txID, err := c.reserveTxID(txID)
 	if err != nil {
+		return false, err
+	}
+	r, err := c.begin(txID)
+	if err != nil {
+		c.unreserve(txID)
 		return false, err
 	}
 	return r.finish(ctx)

@@ -53,6 +53,17 @@ func (t *Txn) resolve(ok bool, err error) {
 	close(t.done)
 }
 
+// ResolvedTxn returns a future that is already resolved with the given
+// decision and no error. Layers above the pipeline (e.g. kv) use it to
+// short-circuit trivial transactions while keeping a uniform future-based
+// API; the ID is not registered with any cluster.
+func ResolvedTxn(txID string, committed bool) *Txn {
+	t := &Txn{TxID: txID, done: make(chan struct{})}
+	t.start = time.Now()
+	t.resolve(committed, nil)
+	return t
+}
+
 // Submit enqueues one transaction on the commit pipeline and returns a
 // future immediately. The pipeline's dispatcher runs up to
 // Options.MaxInFlight transactions concurrently, each a full protocol
@@ -60,13 +71,26 @@ func (t *Txn) resolve(ok bool, err error) {
 // submissions beyond the window queue in order.
 //
 // ctx bounds the transaction itself: if it expires while the transaction is
-// queued or running, the future resolves with its error. Resources must be
-// safe for concurrent use once transactions are pipelined, and callers must
-// not reuse a txID that is in flight or recently decided.
+// queued or running, the future resolves with its error. A nil ctx defaults
+// to context.Background(). Resources must be safe for concurrent use once
+// transactions are pipelined. A txID that is in flight (or in the bounded
+// decided-set) is rejected — the future resolves with an error — because
+// instances are routed by txID and reuse would cross-wire two transactions.
 func (c *Cluster) Submit(ctx context.Context, txID string) *Txn {
-	t := &Txn{TxID: c.nextTxID(txID), ctx: ctx, done: make(chan struct{})}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	id, err := c.reserveTxID(txID)
+	if err != nil {
+		t := &Txn{TxID: txID, ctx: ctx, done: make(chan struct{})}
+		t.start = time.Now()
+		t.resolve(false, err)
+		return t
+	}
+	t := &Txn{TxID: id, ctx: ctx, done: make(chan struct{})}
 	c.mu.Lock()
 	if c.closed {
+		delete(c.inflight, t.TxID)
 		c.mu.Unlock()
 		t.start = time.Now()
 		t.resolve(false, fmt.Errorf("commit: cluster closed"))
@@ -116,6 +140,9 @@ func (c *Cluster) dispatch() {
 		if c.closed {
 			queue := c.queue
 			c.queue = nil
+			for _, t := range queue {
+				delete(c.inflight, t.TxID)
+			}
 			c.mu.Unlock()
 			for _, t := range queue {
 				t.start = time.Now()
@@ -130,10 +157,12 @@ func (c *Cluster) dispatch() {
 		select {
 		case window <- struct{}{}:
 		case <-t.ctx.Done():
+			c.unreserve(t.TxID)
 			t.start = time.Now()
 			t.resolve(false, fmt.Errorf("commit: submit %s: %w", t.TxID, t.ctx.Err()))
 			continue
 		case <-c.stop:
+			c.unreserve(t.TxID)
 			t.start = time.Now()
 			t.resolve(false, fmt.Errorf("commit: cluster closed"))
 			continue
@@ -143,6 +172,7 @@ func (c *Cluster) dispatch() {
 			t.start = time.Now()
 			r, err := c.begin(t.TxID)
 			if err != nil {
+				c.unreserve(t.TxID)
 				t.resolve(false, err)
 				return
 			}

@@ -167,7 +167,7 @@ func TestStragglerEnvelopeDropped(t *testing.T) {
 	if got := len(m.pending["done-tx"]); got != 0 {
 		t.Fatalf("straggler for a retired txID leaked into pending (%d buffered)", got)
 	}
-	if _, ok := m.decided["done-tx"]; !ok {
+	if !m.decided.has("done-tx") {
 		t.Fatal("retired txID must be remembered in the decided set")
 	}
 	if len(m.instances) != 0 {
@@ -181,16 +181,107 @@ func TestRetiredHistoryEviction(t *testing.T) {
 	m := &member{
 		instances: make(map[string]*live.Instance),
 		pending:   make(map[string][]live.Envelope),
-		decided:   make(map[string]struct{}),
+		decided:   newBoundedSet(),
 	}
 	for i := 0; i < retiredHistory+10; i++ {
 		m.retire(fmt.Sprintf("tx-%d", i))
 	}
-	if len(m.decided) != retiredHistory || len(m.retired) != retiredHistory {
-		t.Fatalf("decided set must cap at %d, got %d/%d", retiredHistory, len(m.decided), len(m.retired))
+	if len(m.decided.m) != retiredHistory || len(m.decided.order) != retiredHistory {
+		t.Fatalf("decided set must cap at %d, got %d/%d", retiredHistory, len(m.decided.m), len(m.decided.order))
 	}
-	if _, ok := m.decided["tx-0"]; ok {
+	if m.decided.has("tx-0") {
 		t.Fatal("oldest txID must be evicted")
+	}
+}
+
+// TestTxIDReuseRejected: the documented reuse rule is enforced — an ID that
+// is in flight or already decided is rejected instead of silently
+// cross-wiring instance routing.
+func TestTxIDReuseRejected(t *testing.T) {
+	t.Parallel()
+	rs, _ := resources(true, true)
+	cl, err := NewCluster(rs, Options{Timeout: 20 * time.Millisecond, MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if ok, err := cl.Commit(ctx(t), "dup"); err != nil || !ok {
+		t.Fatalf("first use: ok=%v err=%v", ok, err)
+	}
+	if _, err := cl.Commit(ctx(t), "dup"); err == nil {
+		t.Fatal("Commit with a decided txID must error")
+	}
+	txn := cl.Submit(ctx(t), "dup")
+	if _, err := txn.Wait(ctx(t)); err == nil {
+		t.Fatal("Submit with a decided txID must resolve with an error")
+	}
+
+	// In-flight rejection: hold a transaction open in Prepare and resubmit
+	// its ID while it is still running.
+	gate := make(chan struct{})
+	var once sync.Once
+	slow := ResourceFunc{PrepareFn: func(txID string) bool {
+		if txID == "held" {
+			once.Do(func() { <-gate })
+		}
+		return true
+	}}
+	cl2, err := NewCluster([]Resource{slow, ResourceFunc{}}, Options{Timeout: 20 * time.Millisecond, MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	first := cl2.Submit(ctx(t), "held")
+	second := cl2.Submit(ctx(t), "held")
+	if _, err := second.Wait(ctx(t)); err == nil {
+		t.Fatal("Submit with an in-flight txID must resolve with an error")
+	}
+	close(gate)
+	if ok, err := first.Wait(ctx(t)); err != nil || !ok {
+		t.Fatalf("held transaction: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestAutoIDsSkipUsedTxIDs: auto-allocation must not collide with an ID a
+// caller used explicitly.
+func TestAutoIDsSkipUsedTxIDs(t *testing.T) {
+	t.Parallel()
+	rs, _ := resources(true, true)
+	cl, err := NewCluster(rs, Options{Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if ok, err := cl.Commit(ctx(t), "tx-1"); err != nil || !ok {
+		t.Fatalf("explicit tx-1: ok=%v err=%v", ok, err)
+	}
+	txn := cl.Submit(ctx(t), "")
+	if ok, err := txn.Wait(ctx(t)); err != nil || !ok {
+		t.Fatalf("auto-ID after explicit tx-1: id=%q ok=%v err=%v", txn.TxID, ok, err)
+	}
+	if txn.TxID == "tx-1" {
+		t.Fatal("auto-allocated ID collided with an explicitly used one")
+	}
+}
+
+// TestNilContextDefaults: Submit(nil, ...) used to panic in the dispatcher's
+// ctx.Done() select; a nil ctx now defaults to context.Background() on both
+// entry points.
+func TestNilContextDefaults(t *testing.T) {
+	t.Parallel()
+	rs, _ := resources(true, true)
+	cl, err := NewCluster(rs, Options{Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	txn := cl.Submit(nil, "") //nolint:staticcheck // deliberately nil
+	if ok, err := txn.Wait(ctx(t)); err != nil || !ok {
+		t.Fatalf("Submit(nil): ok=%v err=%v", ok, err)
+	}
+	if ok, err := cl.Commit(nil, ""); err != nil || !ok { //nolint:staticcheck
+		t.Fatalf("Commit(nil): ok=%v err=%v", ok, err)
 	}
 }
 

@@ -7,8 +7,11 @@
 // pipeline API (commit.Cluster.Submit, Txn.Wait, commit.Cluster.CommitMany)
 // runs many transactions concurrently under a configurable in-flight window
 // — the throughput path; see commit/pipeline.go and the commitbench
-// -throughput mode. See README.md for a tour, DESIGN.md for the system
-// inventory, and EXPERIMENTS.md for the paper-vs-measured record of every
-// table and figure. The benchmarks in bench_test.go regenerate the paper's
-// evaluation (go test -bench=. -benchmem).
+// -throughput mode. The kv subpackage is a sharded transactional key-value
+// store driven by that pipeline: every shard votes on conflicts, so abort
+// behavior becomes a real, workload-induced measurement (commitbench -kv).
+// See README.md for a tour and DESIGN.md for the system inventory and the
+// paper-vs-measured conventions behind every table and figure. The
+// benchmarks in bench_test.go regenerate the paper's evaluation
+// (go test -bench=. -benchmem).
 package atomiccommit

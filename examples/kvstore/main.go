@@ -1,13 +1,12 @@
-// KVStore: a partitioned transactional key-value store committing
-// multi-partition writes atomically — Helios-style conflict voting from the
-// paper's introduction: every partition votes to abort any transaction that
-// conflicts with one it already prepared.
+// KVStore: the sharded transactional key-value store (package kv) in
+// action. Every shard is one participant of an atomic-commit cluster;
+// conflicting transactions vote each other down Helios-style (the paper's
+// introduction) and the commit protocol turns any "no" into a global abort.
 //
-// The demo runs two concurrent transactions touching overlapping keys: the
-// conflict detector makes the partitions veto the loser, and the winner
-// commits everywhere. Then it benchmarks commit latency of 2PC vs INBAC vs
-// PaxosCommit on the same store: the delay counts of the paper's Table 5,
-// rendered in wall-clock time.
+// The demo commits a multi-shard write, races two conflicting transactions
+// to show conflict-induced abort, then runs the built-in Zipf workload
+// against three protocols and reports txn/s and the abort rate each one
+// induces under a hot-key mix.
 //
 //	go run ./examples/kvstore
 package main
@@ -16,152 +15,82 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"sort"
-	"sync"
 	"time"
 
 	"atomiccommit/commit"
+	"atomiccommit/kv"
 )
 
-// partition is one slice of the keyspace with a write-intent table (the
-// conflict detector).
-type partition struct {
-	name string
-
-	mu      sync.Mutex
-	data    map[string]string
-	writes  map[string]map[string]string // txID -> staged writes
-	intents map[string]string            // key -> txID holding the intent
-}
-
-func newPartition(name string) *partition {
-	return &partition{name: name,
-		data:    make(map[string]string),
-		writes:  make(map[string]map[string]string),
-		intents: make(map[string]string)}
-}
-
-// stageWrite registers a write intent; a conflicting intent (Helios-style)
-// makes this partition vote abort for the newcomer.
-func (p *partition) stageWrite(txID, key, value string) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if holder, busy := p.intents[key]; busy && holder != txID {
-		return false // conflict: the vote for txID will be no
-	}
-	p.intents[key] = txID
-	if p.writes[txID] == nil {
-		p.writes[txID] = make(map[string]string)
-	}
-	p.writes[txID][key] = value
-	return true
-}
-
-// Prepare implements commit.Resource: yes iff every staged write of txID
-// still holds its intent (no conflict detected).
-func (p *partition) Prepare(txID string) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for key := range p.writes[txID] {
-		if p.intents[key] != txID {
-			return false
-		}
-	}
-	return true
-}
-
-// Commit implements commit.Resource.
-func (p *partition) Commit(txID string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for k, v := range p.writes[txID] {
-		p.data[k] = v
-		delete(p.intents, k)
-	}
-	delete(p.writes, txID)
-}
-
-// Abort implements commit.Resource.
-func (p *partition) Abort(txID string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for k := range p.writes[txID] {
-		if p.intents[k] == txID {
-			delete(p.intents, k)
-		}
-	}
-	delete(p.writes, txID)
-}
-
-func (p *partition) dump() string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	keys := make([]string, 0, len(p.data))
-	for k := range p.data {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	s := ""
-	for _, k := range keys {
-		s += fmt.Sprintf("%s=%s ", k, p.data[k])
-	}
-	return s
-}
-
 func main() {
-	parts := []*partition{newPartition("p1"), newPartition("p2"), newPartition("p3")}
-	rs := make([]commit.Resource, len(parts))
-	for i, p := range parts {
-		rs[i] = p
-	}
-	cluster, err := commit.NewCluster(rs, commit.Options{Protocol: commit.INBAC, F: 1, Timeout: 20 * time.Millisecond})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer cluster.Close()
-	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	// Two transactions race for key "user:7" on p2.
-	txA, txB := "txA", "txB"
-	parts[0].stageWrite(txA, "order:1", "alice")
-	parts[1].stageWrite(txA, "user:7", "alice-touched")
-	okConflict := parts[1].stageWrite(txB, "user:7", "bob-touched") // conflict!
-	parts[2].stageWrite(txB, "audit:9", "bob")
-
-	okA, err := cluster.Commit(ctx, txA)
+	store, err := kv.Open(4, commit.Options{Protocol: commit.INBAC, F: 1, Timeout: 10 * time.Millisecond})
 	if err != nil {
 		log.Fatal(err)
 	}
-	okB, err := cluster.Commit(ctx, txB)
+	defer store.Close()
+
+	// A multi-shard transaction: the keys hash to different shards, yet
+	// commit atomically through one INBAC instance.
+	seed := store.Txn()
+	seed.Put("user:7", "alice")
+	seed.Put("order:1", "alice's order")
+	seed.Put("audit:9", "created")
+	if ok, err := seed.Commit(ctx); err != nil || !ok {
+		log.Fatalf("seed: ok=%v err=%v", ok, err)
+	}
+	fmt.Println("seeded 3 keys across 4 shards in one atomic transaction")
+
+	// Two transactions race for user:7. Both read it, both try to write it;
+	// submitted concurrently, the commit protocol lets at most one win.
+	txA, txB := store.Txn(), store.Txn()
+	txA.Get("user:7")
+	txB.Get("user:7")
+	txA.Put("user:7", "alice-touched")
+	txB.Put("user:7", "bob-touched")
+	pA, err := txA.Submit(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("txA committed=%v, txB committed=%v (txB's conflicting intent was rejected: staged=%v)\n",
-		okA, okB, okConflict)
-	fmt.Printf("p1: %s\np2: %s\np3: %s\n\n", parts[0].dump(), parts[1].dump(), parts[2].dump())
+	pB, err := txB.Submit(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	okA, err := pA.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	okB, err := pB.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := store.Get("user:7")
+	fmt.Printf("conflict race: txA committed=%v, txB committed=%v, user:7=%q\n\n", okA, okB, v)
 
-	// Latency comparison: the paper's Table 5 delays x Timeout, measured.
-	for _, proto := range []commit.Protocol{commit.TwoPC, commit.INBAC, commit.PaxosCommit, commit.ThreePC} {
-		cl, err := commit.NewCluster(rs, commit.Options{Protocol: proto, F: 1, Timeout: 20 * time.Millisecond})
+	// The same store shape under load, per protocol: the built-in workload
+	// generator induces conflicts via Zipf-skewed key choice, and the abort
+	// rate — not just latency — becomes a protocol-visible number.
+	w := kv.Workload{Keys: 256, Theta: 0.9, ReadFrac: 0.5, OpsPerTxn: 4}
+	fmt.Println("hot-key workload (theta=0.9, 256 keys, 50% reads, 4 ops/txn), 200 txns, 16 workers:")
+	for _, proto := range []commit.Protocol{commit.TwoPC, commit.INBAC, commit.PaxosCommit} {
+		s, err := kv.Open(4, commit.Options{Protocol: proto, F: 1, Timeout: 10 * time.Millisecond, MaxInFlight: 16})
 		if err != nil {
 			log.Fatal(err)
 		}
-		const rounds = 5
-		start := time.Now()
-		for i := 0; i < rounds; i++ {
-			if _, err := cl.Commit(ctx, fmt.Sprintf("lat-%s-%d", proto, i)); err != nil {
-				log.Fatal(err)
-			}
+		stats, err := kv.Run(ctx, s, w, kv.RunConfig{Txns: 200, Workers: 16, Seed: 42})
+		s.Close()
+		if err != nil {
+			log.Fatal(err)
 		}
-		per := time.Since(start) / rounds
-		fmt.Printf("%-14s %v/commit  (paper: %s)\n", proto, per.Round(time.Millisecond), delaysNote(proto))
-		cl.Close()
+		fmt.Printf("%-14s %6.0f txn/s  p50=%-10s abort rate %4.1f%%  (%s)\n",
+			proto, stats.TxnsPerSec(), stats.Percentile(0.5).Round(time.Microsecond),
+			100*stats.AbortRate(), note(proto))
 	}
 	fmt.Println("\n2PC and INBAC share the 2-delay latency; only INBAC survives coordinator loss.")
 }
 
-func delaysNote(p commit.Protocol) string {
+func note(p commit.Protocol) string {
 	switch p {
 	case commit.TwoPC:
 		return "2 delays, blocking"
@@ -169,8 +98,6 @@ func delaysNote(p commit.Protocol) string {
 		return "2 delays, indulgent"
 	case commit.PaxosCommit:
 		return "3 delays, indulgent"
-	case commit.ThreePC:
-		return "4 delays, non-blocking under crashes"
 	}
 	return ""
 }

@@ -190,6 +190,38 @@ func TestBlockingDemoRenders(t *testing.T) {
 	}
 }
 
+func TestKVHarness(t *testing.T) {
+	rows, out, err := KV(KVConfig{
+		Protocols: []string{"2pc", "inbac"}, Thetas: []float64{0, 0.9},
+		Shards: 4, F: 1, Txns: 64, Workers: 16, Keys: 32,
+		Timeout: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows (2 protocols x 2 thetas), got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Committed+r.Aborted != 64 {
+			t.Errorf("%s theta=%.1f: decided %d+%d, want 64", r.Protocol, r.Theta, r.Committed, r.Aborted)
+		}
+		if r.TxnsPerSec <= 0 || r.P99 < r.P50 {
+			t.Errorf("implausible row %+v", r)
+		}
+		if r.AbortRate < 0 || r.AbortRate > 1 {
+			t.Errorf("%s theta=%.1f: abort rate %f out of range", r.Protocol, r.Theta, r.AbortRate)
+		}
+	}
+	// 32 keys and 16 workers: the skewed points must see real conflicts.
+	if rows[1].Aborted == 0 && rows[3].Aborted == 0 {
+		t.Error("hot-key workload induced no aborts; the sweep is vacuous")
+	}
+	if !strings.Contains(out, "abort%") || !strings.Contains(out, "inbac") {
+		t.Errorf("table rendering:\n%s", out)
+	}
+}
+
 func TestThroughputHarness(t *testing.T) {
 	rows, out, err := Throughput(ThroughputConfig{
 		Protocols: []string{"2pc"}, Depths: []int{1, 8}, Txns: 24,

@@ -229,7 +229,7 @@ func Table5(n, f int) ([]Measurement, string) {
 	}
 	t.blank()
 	t.row("chainnbac's measured delays differ from the paper's 2f+n-1 by a constant +1 from the")
-	t.row("timer-start convention (tick 0 = Propose); see EXPERIMENTS.md.")
+	t.row("timer-start convention (tick 0 = Propose); see DESIGN.md, \"Measurement conventions\".")
 	return ms, t.String()
 }
 

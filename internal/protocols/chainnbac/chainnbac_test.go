@@ -88,7 +88,7 @@ func TestSuffixCrashAgreement(t *testing.T) {
 
 // TestNoopWindowLength: decisions land exactly at (n+2f)U under the
 // tick-0-propose convention — one unit after the paper's 2f+n-1 count, the
-// constant EXPERIMENTS.md documents.
+// constant DESIGN.md's "Measurement conventions" section documents.
 func TestNoopWindowLength(t *testing.T) {
 	for _, nf := range [][2]int{{3, 1}, {5, 2}, {6, 5}} {
 		n, f := nf[0], nf[1]

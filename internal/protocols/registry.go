@@ -43,7 +43,7 @@ type Info struct {
 	// Delays / Messages are the values this implementation measures in a
 	// nice execution under this repository's timer convention (tick 0 =
 	// Propose). They differ from the paper's only by documented constants
-	// (see EXPERIMENTS.md).
+	// (see DESIGN.md, "Measurement conventions").
 	Delays   Formula
 	Messages Formula
 

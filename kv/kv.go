@@ -1,0 +1,303 @@
+// Package kv is a sharded transactional key-value store driven by the
+// commit pipeline: the repository's first stateful subsystem, and the
+// workload that makes abort behavior real.
+//
+// The store partitions the keyspace across shards by key hash; every shard
+// is one commit.Resource participant of an in-memory commit.Cluster, so a
+// multi-shard transaction is one atomic-commit instance of whichever
+// protocol the store was opened with (INBAC by default). Concurrency
+// control is Helios-style conflict voting from the paper's introduction,
+// per key:
+//
+//   - A transaction buffers its reads (with the version observed) and
+//     writes client-side; nothing touches shard state until commit.
+//   - Prepare stages the transaction's footprint on each involved shard:
+//     it validates that every read version is still current and acquires
+//     per-key intents — exclusive for writes, shared for reads —
+//     all-or-nothing per shard. Any conflict makes that shard vote abort;
+//     the commit protocol then guarantees the transaction aborts
+//     everywhere.
+//   - Commit applies the staged writes and bumps versions; Abort drops
+//     them. Both release the intents.
+//
+// Because conflicts vote instead of block, there is no deadlock — a losing
+// transaction aborts and the caller may retry. Committed transactions are
+// serializable: a transaction's reads are revalidated under the same
+// intents that exclude concurrent writers, so its effective execution point
+// is its commit.
+//
+// Transactions commit through Cluster.Submit, so thousands of them run
+// concurrently under Options.MaxInFlight. See Workload and Run for the
+// built-in contention generator used by the benchmarks (commitbench -kv).
+package kv
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"atomiccommit/commit"
+)
+
+// Store is a sharded transactional key-value store. All methods are safe
+// for concurrent use.
+type Store struct {
+	cluster *commit.Cluster
+	shards  []*shard
+	seq     atomic.Uint64
+}
+
+// Open creates a store with the given number of shards (>= 2: each shard is
+// one participant of the underlying commit cluster). opts selects the
+// commit protocol and its tuning; the zero Options means INBAC with the
+// package defaults.
+func Open(shards int, opts commit.Options) (*Store, error) {
+	if shards < 2 {
+		return nil, fmt.Errorf("kv: need at least 2 shards (each shard is a commit participant), got %d", shards)
+	}
+	s := &Store{shards: make([]*shard, shards)}
+	rs := make([]commit.Resource, shards)
+	for i := range s.shards {
+		s.shards[i] = newShard(i)
+		rs[i] = s.shards[i]
+	}
+	cl, err := commit.NewCluster(rs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	s.cluster = cl
+	return s, nil
+}
+
+// Close shuts the store down; in-flight transactions resolve with errors.
+func (s *Store) Close() { s.cluster.Close() }
+
+// Shards returns the number of shards (= commit participants).
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Cluster exposes the underlying commit cluster for tuning and failure
+// injection (e.g. Mesh latency) in tests and demos.
+func (s *Store) Cluster() *commit.Cluster { return s.cluster }
+
+// Txn starts a new transaction. The builder is not safe for concurrent use;
+// build and commit it from one goroutine (many transactions may of course
+// run concurrently).
+func (s *Store) Txn() *Txn {
+	return &Txn{
+		s:      s,
+		reads:  make(map[string]uint64),
+		cache:  make(map[string]readVal),
+		writes: make(map[string]write),
+	}
+}
+
+// Get is a non-transactional read of the latest committed value.
+func (s *Store) Get(key string) (string, bool) {
+	v, ok, _ := s.shardFor(key).readCommitted(key)
+	return v, ok
+}
+
+func (s *Store) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return s.shards[int(h.Sum32()%uint32(len(s.shards)))]
+}
+
+func (s *Store) nextTxID() string {
+	return fmt.Sprintf("kv-%d", s.seq.Add(1))
+}
+
+// write is one buffered mutation: a value, or a tombstone.
+type write struct {
+	value     string
+	tombstone bool
+}
+
+// stagedTxn is a transaction's footprint on one shard, registered just
+// before the commit protocol runs and consumed by the Resource callbacks.
+type stagedTxn struct {
+	reads  map[string]uint64 // key -> version observed at read time
+	writes map[string]write
+	locked bool // Prepare acquired this transaction's intents
+}
+
+// lockState is the per-key intent table entry: at most one exclusive writer,
+// or any number of shared readers.
+type lockState struct {
+	writer  string
+	readers map[string]struct{}
+}
+
+// shard is one partition of the keyspace and one commit.Resource. Prepare,
+// Commit and Abort implement the contract described in the package comment.
+type shard struct {
+	id int
+
+	mu       sync.Mutex
+	data     map[string]string
+	versions map[string]uint64 // bumped on every committed write; survives deletes
+	staged   map[string]*stagedTxn
+	locks    map[string]*lockState
+}
+
+func newShard(id int) *shard {
+	return &shard{
+		id:       id,
+		data:     make(map[string]string),
+		versions: make(map[string]uint64),
+		staged:   make(map[string]*stagedTxn),
+		locks:    make(map[string]*lockState),
+	}
+}
+
+// readCommitted returns the latest committed value and its version.
+func (sh *shard) readCommitted(key string) (string, bool, uint64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, ok := sh.data[key]
+	return v, ok, sh.versions[key]
+}
+
+// stage registers a transaction's footprint ahead of Prepare. Keys in both
+// sets are treated as writes for locking purposes.
+func (sh *shard) stage(txID string, reads map[string]uint64, writes map[string]write) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.staged[txID] = &stagedTxn{reads: reads, writes: writes}
+}
+
+// unstage drops a transaction whose protocol instance resolved with an
+// infrastructure error (so Commit/Abort will never fire), releasing
+// whatever it held. Idempotent.
+func (sh *shard) unstage(txID string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.drop(txID)
+}
+
+// Prepare implements commit.Resource: validate read versions and acquire
+// every per-key intent, all-or-nothing. Any conflict — a stale read, a key
+// intent held by another transaction — is a "no" vote, which the commit
+// protocol turns into a global abort.
+func (sh *shard) Prepare(txID string) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.staged[txID]
+	if !ok {
+		// This shard is not involved in the transaction; it has no reason
+		// to object.
+		return true
+	}
+	for key, ver := range st.reads {
+		if sh.versions[key] != ver {
+			return false // a concurrent transaction committed over our read
+		}
+	}
+	// Check the whole footprint first so acquisition is all-or-nothing: a
+	// doomed transaction must not pin keys while it waits to abort.
+	for key := range st.writes {
+		if l, held := sh.locks[key]; held {
+			if l.writer != "" && l.writer != txID {
+				return false
+			}
+			for r := range l.readers {
+				if r != txID {
+					return false
+				}
+			}
+		}
+	}
+	for key := range st.reads {
+		if _, isWrite := st.writes[key]; isWrite {
+			continue
+		}
+		if l, held := sh.locks[key]; held && l.writer != "" && l.writer != txID {
+			return false
+		}
+	}
+	for key := range st.writes {
+		sh.lock(key).writer = txID
+	}
+	for key := range st.reads {
+		if _, isWrite := st.writes[key]; isWrite {
+			continue
+		}
+		l := sh.lock(key)
+		if l.readers == nil {
+			l.readers = make(map[string]struct{})
+		}
+		l.readers[txID] = struct{}{}
+	}
+	st.locked = true
+	return true
+}
+
+func (sh *shard) lock(key string) *lockState {
+	l, ok := sh.locks[key]
+	if !ok {
+		l = &lockState{}
+		sh.locks[key] = l
+	}
+	return l
+}
+
+// Commit implements commit.Resource: apply the staged writes, bump
+// versions, release intents.
+func (sh *shard) Commit(txID string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.staged[txID]
+	if !ok {
+		return
+	}
+	for key, w := range st.writes {
+		if w.tombstone {
+			delete(sh.data, key)
+		} else {
+			sh.data[key] = w.value
+		}
+		sh.versions[key]++
+	}
+	sh.drop(txID)
+}
+
+// Abort implements commit.Resource: drop the staged writes and release
+// intents.
+func (sh *shard) Abort(txID string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.drop(txID)
+}
+
+// drop removes a transaction's staged state and any intents it holds.
+// Callers hold sh.mu.
+func (sh *shard) drop(txID string) {
+	st, ok := sh.staged[txID]
+	if !ok {
+		return
+	}
+	delete(sh.staged, txID)
+	if !st.locked {
+		return
+	}
+	release := func(key string) {
+		l, held := sh.locks[key]
+		if !held {
+			return
+		}
+		if l.writer == txID {
+			l.writer = ""
+		}
+		delete(l.readers, txID)
+		if l.writer == "" && len(l.readers) == 0 {
+			delete(sh.locks, key)
+		}
+	}
+	for key := range st.writes {
+		release(key)
+	}
+	for key := range st.reads {
+		release(key)
+	}
+}

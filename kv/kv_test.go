@@ -1,0 +1,336 @@
+package kv
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"atomiccommit/commit"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func open(t *testing.T, shards int, opts commit.Options) *Store {
+	t.Helper()
+	if opts.Timeout == 0 {
+		opts.Timeout = 25 * time.Millisecond
+	}
+	s, err := Open(shards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func mustCommit(t *testing.T, txn *Txn, ctx context.Context) {
+	t.Helper()
+	ok, err := txn.Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("transaction unexpectedly aborted")
+	}
+}
+
+func TestPutGetDeleteAcrossTxns(t *testing.T) {
+	t.Parallel()
+	s := open(t, 4, commit.Options{})
+	ctx := testCtx(t)
+
+	w := s.Txn()
+	w.Put("a", "1")
+	w.Put("b", "2")
+	w.Put("c", "3") // keys hash to different shards; one atomic commit
+	mustCommit(t, w, ctx)
+
+	r := s.Txn()
+	for key, want := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		if got, ok := r.Get(key); !ok || got != want {
+			t.Fatalf("Get(%q) = %q, %v; want %q", key, got, ok, want)
+		}
+	}
+	mustCommit(t, r, ctx)
+
+	d := s.Txn()
+	d.Delete("b")
+	mustCommit(t, d, ctx)
+
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("deleted key still visible")
+	}
+	if v, ok := s.Get("a"); !ok || v != "1" {
+		t.Fatalf("non-transactional Get(a) = %q, %v", v, ok)
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	t.Parallel()
+	s := open(t, 2, commit.Options{})
+	ctx := testCtx(t)
+
+	seed := s.Txn()
+	seed.Put("x", "old")
+	mustCommit(t, seed, ctx)
+
+	txn := s.Txn()
+	txn.Put("x", "new")
+	if v, ok := txn.Get("x"); !ok || v != "new" {
+		t.Fatalf("read-your-writes: got %q, %v", v, ok)
+	}
+	txn.Delete("x")
+	if _, ok := txn.Get("x"); ok {
+		t.Fatal("own tombstone must read as a miss")
+	}
+	// Repeated reads of an untouched key observe one consistent value.
+	other := s.Txn()
+	v1, _ := other.Get("x")
+	v2, _ := other.Get("x")
+	if v1 != v2 {
+		t.Fatalf("cached read changed: %q vs %q", v1, v2)
+	}
+}
+
+// TestStaleReadAborts: a transaction whose read was overwritten by a
+// concurrent commit must abort at Prepare (version validation).
+func TestStaleReadAborts(t *testing.T) {
+	t.Parallel()
+	s := open(t, 2, commit.Options{})
+	ctx := testCtx(t)
+
+	seed := s.Txn()
+	seed.Put("k", "0")
+	mustCommit(t, seed, ctx)
+
+	stale := s.Txn()
+	stale.Get("k") // observes version 1
+
+	winner := s.Txn()
+	winner.Put("k", "1")
+	mustCommit(t, winner, ctx)
+
+	stale.Put("k", "2") // would be a lost update over winner's write
+	ok, err := stale.Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("transaction with a stale read must abort")
+	}
+	if v, _ := s.Get("k"); v != "1" {
+		t.Fatalf("winner's write lost: k=%q", v)
+	}
+}
+
+// TestWriteWriteConflict: two racing writers of one key — at most one may
+// commit, and the key holds a value only a committed transaction wrote.
+func TestWriteWriteConflict(t *testing.T) {
+	t.Parallel()
+	s := open(t, 4, commit.Options{MaxInFlight: 8})
+	ctx := testCtx(t)
+
+	const racers = 8
+	results := make([]bool, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			txn := s.Txn()
+			txn.Get("hot")
+			txn.Put("hot", fmt.Sprintf("writer-%d", i))
+			ok, err := txn.Commit(ctx)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = ok
+		}(i)
+	}
+	wg.Wait()
+
+	winners := 0
+	for _, ok := range results {
+		if ok {
+			winners++
+		}
+	}
+	if winners == 0 {
+		t.Fatal("serial-equivalent executions exist, yet nobody committed")
+	}
+	v, ok := s.Get("hot")
+	if !ok {
+		t.Fatal("committed write missing")
+	}
+	found := false
+	for i, won := range results {
+		if won && v == fmt.Sprintf("writer-%d", i) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("value %q was not written by any committed transaction", v)
+	}
+}
+
+func TestEmptyTxnCommitsTrivially(t *testing.T) {
+	t.Parallel()
+	s := open(t, 2, commit.Options{})
+	ok, err := s.Txn().Commit(testCtx(t))
+	if err != nil || !ok {
+		t.Fatalf("empty txn: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestTxnSingleUse(t *testing.T) {
+	t.Parallel()
+	s := open(t, 2, commit.Options{})
+	ctx := testCtx(t)
+	txn := s.Txn()
+	txn.Put("k", "v")
+	mustCommit(t, txn, ctx)
+	if _, err := txn.Submit(ctx); err == nil {
+		t.Fatal("resubmitting a transaction must error")
+	}
+	// Operations after Submit would be silently dropped (the footprint was
+	// already copied to the shards); they must panic instead.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put on a submitted transaction must panic")
+		}
+	}()
+	txn.Put("k", "late")
+}
+
+func TestOpenValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := Open(1, commit.Options{}); err == nil {
+		t.Fatal("Open(1) must error: every shard is a commit participant")
+	}
+	if _, err := Open(4, commit.Options{Protocol: "nope"}); err == nil {
+		t.Fatal("unknown protocol must error")
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	t.Parallel()
+	s, err := Open(2, commit.Options{Timeout: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	txn := s.Txn()
+	txn.Put("k", "v")
+	if _, err := txn.Commit(testCtx(t)); err == nil {
+		t.Fatal("commit on a closed store must error")
+	}
+	// The staged footprint must not leak after the error.
+	sh := s.shardFor("k")
+	sh.mu.Lock()
+	staged := len(sh.staged)
+	locks := len(sh.locks)
+	sh.mu.Unlock()
+	if staged != 0 || locks != 0 {
+		t.Fatalf("shard state leaked after failed commit: staged=%d locks=%d", staged, locks)
+	}
+}
+
+// TestNoStateLeaks: after a mix of committed and aborted transactions
+// resolve, no shard retains staged footprints or intents.
+func TestNoStateLeaks(t *testing.T) {
+	t.Parallel()
+	s := open(t, 4, commit.Options{MaxInFlight: 16})
+	ctx := testCtx(t)
+	stats, err := Run(ctx, s, Workload{Keys: 16, Theta: 0.9, ReadFrac: 0.5, OpsPerTxn: 4},
+		RunConfig{Txns: 128, Workers: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Committed+stats.Aborted != 128 {
+		t.Fatalf("decided %d+%d, want 128", stats.Committed, stats.Aborted)
+	}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		staged, locks := len(sh.staged), len(sh.locks)
+		sh.mu.Unlock()
+		if staged != 0 || locks != 0 {
+			t.Errorf("shard %d leaked: staged=%d locks=%d", i, staged, locks)
+		}
+	}
+}
+
+func TestWorkloadGeneratorDeterministic(t *testing.T) {
+	t.Parallel()
+	w := Workload{Keys: 64, Theta: 0.9, ReadFrac: 0.5, OpsPerTxn: 4}
+	a, err := w.Generator(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Generator(42)
+	for i := 0; i < 50; i++ {
+		ta, tb := a.NextTxn(), b.NextTxn()
+		if fmt.Sprint(ta) != fmt.Sprint(tb) {
+			t.Fatalf("txn %d diverged: %v vs %v", i, ta, tb)
+		}
+		if len(ta) != 4 {
+			t.Fatalf("txn %d has %d ops, want 4", i, len(ta))
+		}
+		seen := map[string]bool{}
+		for _, op := range ta {
+			if seen[op.Key] {
+				t.Fatalf("txn %d repeats key %s", i, op.Key)
+			}
+			seen[op.Key] = true
+		}
+	}
+}
+
+// TestZipfSkew: higher theta must concentrate draws on the hottest key.
+func TestZipfSkew(t *testing.T) {
+	t.Parallel()
+	const draws = 20000
+	freqTop := func(theta float64) float64 {
+		g, err := Workload{Keys: 128, Theta: theta, OpsPerTxn: 1}.Generator(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := 0
+		for i := 0; i < draws; i++ {
+			if g.NextTxn()[0].Key == "k-0" {
+				top++
+			}
+		}
+		return float64(top) / draws
+	}
+	uniform := freqTop(0)
+	hot := freqTop(0.99)
+	if uniform > 0.03 {
+		t.Fatalf("uniform top-key frequency %f suspiciously high", uniform)
+	}
+	if hot < 5*uniform {
+		t.Fatalf("theta=0.99 top-key frequency %f should dwarf uniform %f", hot, uniform)
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	t.Parallel()
+	for _, w := range []Workload{
+		{Theta: 1.0},
+		{Theta: -0.1},
+		{ReadFrac: 1.5},
+		{Keys: -1},
+		{OpsPerTxn: -2},
+	} {
+		if _, err := w.Generator(1); err == nil {
+			t.Errorf("workload %+v must be rejected", w)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package kv
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"atomiccommit/commit"
+)
+
+// readVal caches one read so repeated Gets inside a transaction observe one
+// consistent value.
+type readVal struct {
+	value string
+	ok    bool
+}
+
+// Txn is a transaction builder: Get/Put/Delete buffer a read set (with the
+// versions observed) and a write set client-side; Commit or Submit routes
+// the footprint to the involved shards and runs one atomic-commit instance
+// across the whole store. A Txn is single-use and not safe for concurrent
+// use.
+type Txn struct {
+	s         *Store
+	reads     map[string]uint64
+	cache     map[string]readVal
+	writes    map[string]write
+	submitted bool
+}
+
+// use panics if the transaction was already submitted: its footprint has
+// been copied to the shards, so later operations would be silently dropped.
+func (t *Txn) use() {
+	if t.submitted {
+		panic("kv: operation on a submitted transaction")
+	}
+}
+
+// Get reads a key: the transaction's own pending write if it has one, the
+// cached first read otherwise, else the latest committed value (whose
+// version is recorded and revalidated at Prepare).
+func (t *Txn) Get(key string) (string, bool) {
+	t.use()
+	if w, ok := t.writes[key]; ok {
+		return w.value, !w.tombstone
+	}
+	if r, ok := t.cache[key]; ok {
+		return r.value, r.ok
+	}
+	v, ok, ver := t.s.shardFor(key).readCommitted(key)
+	t.reads[key] = ver
+	t.cache[key] = readVal{value: v, ok: ok}
+	return v, ok
+}
+
+// Put buffers a write of key = value.
+func (t *Txn) Put(key, value string) {
+	t.use()
+	t.writes[key] = write{value: value}
+}
+
+// Delete buffers a deletion of key.
+func (t *Txn) Delete(key string) {
+	t.use()
+	t.writes[key] = write{tombstone: true}
+}
+
+// Pending is the future of a submitted transaction, wrapping the commit
+// pipeline's own future.
+type Pending struct {
+	id       string
+	txn      *commit.Txn
+	involved []*shard
+	release  sync.Once
+}
+
+// cleanup unstages the footprint after an infrastructure error (the
+// Commit/Abort callbacks will never fire). Idempotent; only called once the
+// future resolved.
+func (p *Pending) cleanup() {
+	if p.txn.Err() == nil {
+		return
+	}
+	p.release.Do(func() {
+		for _, sh := range p.involved {
+			sh.unstage(p.id)
+		}
+	})
+}
+
+// TxID returns the transaction's identifier.
+func (p *Pending) TxID() string { return p.id }
+
+// Done is closed once the outcome is available.
+func (p *Pending) Done() <-chan struct{} { return p.txn.Done() }
+
+// Latency is the protocol latency (dispatch to decision); valid only after
+// Done is closed.
+func (p *Pending) Latency() time.Duration { return p.txn.Latency() }
+
+// Wait blocks until the transaction decides or ctx expires, returning the
+// decision: true = committed everywhere, false = aborted (a conflict is a
+// normal abort, not an error).
+func (p *Pending) Wait(ctx context.Context) (bool, error) {
+	ok, err := p.txn.Wait(ctx)
+	select {
+	case <-p.txn.Done():
+		// Resolved: release the footprint synchronously on infrastructure
+		// errors so callers observe a clean store when Wait returns.
+		p.cleanup()
+	default:
+	}
+	return ok, err
+}
+
+// Submit stages the transaction's footprint on every involved shard and
+// enqueues it on the store's commit pipeline, returning a future
+// immediately. ctx bounds the transaction itself. A transaction with an
+// empty footprint commits trivially without running the protocol.
+func (t *Txn) Submit(ctx context.Context) (*Pending, error) {
+	if t.submitted {
+		return nil, fmt.Errorf("kv: transaction already submitted")
+	}
+	t.submitted = true
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Split the footprint by shard.
+	type footprint struct {
+		reads  map[string]uint64
+		writes map[string]write
+	}
+	byShard := make(map[*shard]*footprint)
+	fp := func(sh *shard) *footprint {
+		f, ok := byShard[sh]
+		if !ok {
+			f = &footprint{reads: make(map[string]uint64), writes: make(map[string]write)}
+			byShard[sh] = f
+		}
+		return f
+	}
+	for key, ver := range t.reads {
+		fp(t.s.shardFor(key)).reads[key] = ver
+	}
+	for key, w := range t.writes {
+		fp(t.s.shardFor(key)).writes[key] = w
+	}
+
+	txID := t.s.nextTxID()
+	if len(byShard) == 0 {
+		return &Pending{id: txID, txn: commit.ResolvedTxn(txID, true)}, nil
+	}
+	involved := make([]*shard, 0, len(byShard))
+	for sh, f := range byShard {
+		sh.stage(txID, f.reads, f.writes)
+		involved = append(involved, sh)
+	}
+	ct := t.s.cluster.Submit(ctx, txID)
+	p := &Pending{id: txID, txn: ct, involved: involved}
+
+	// If the protocol instance resolves with an infrastructure error (ctx
+	// expiry, closed store), the Commit/Abort callbacks never fire; release
+	// the staged footprint so its keys are not pinned forever. Outcome
+	// callbacks complete before the future resolves, so this cannot race a
+	// real decision.
+	go func() {
+		<-ct.Done()
+		p.cleanup()
+	}()
+	return p, nil
+}
+
+// Commit submits the transaction and waits for its decision: true =
+// committed everywhere, false = aborted. An abort due to a conflicting
+// concurrent transaction is a normal outcome (retry with a fresh Txn), not
+// an error.
+func (t *Txn) Commit(ctx context.Context) (bool, error) {
+	p, err := t.Submit(ctx)
+	if err != nil {
+		return false, err
+	}
+	return p.Wait(ctx)
+}
