@@ -1,0 +1,92 @@
+// Command benchdiff compares two BENCH_*.json throughput snapshots (see
+// internal/bench.Snapshot) and prints the per-(protocol, depth) deltas:
+//
+//	benchdiff -old BENCH_throughput_tcp.json -new /tmp/BENCH_ci.json
+//
+// It exits 0 on any comparison; with -max-regress set (a fraction, e.g.
+// 0.5 = new throughput may not drop below half of old), it exits 1 if any
+// cell regresses beyond the bound — loose enough for noisy CI machines,
+// tight enough to catch a codec or transport catastrophe.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"atomiccommit/internal/bench"
+)
+
+func main() {
+	var (
+		oldPath    = flag.String("old", "", "baseline snapshot (the committed BENCH_*.json)")
+		newPath    = flag.String("new", "", "candidate snapshot to compare")
+		maxRegress = flag.Float64("max-regress", 0, "fail if a cell's txn/s falls below (1-max-regress) x baseline; 0 disables")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldSnap, err := bench.ReadSnapshot(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	newSnap, err := bench.ReadSnapshot(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	type key struct {
+		proto   string
+		runtime string
+		depth   int
+	}
+	base := make(map[key]bench.ThroughputRow, len(oldSnap.Rows))
+	for _, r := range oldSnap.Rows {
+		base[key{r.Protocol, r.Runtime, r.Depth}] = r
+	}
+
+	fmt.Printf("%-12s %-5s %6s %12s %12s %8s %12s %12s\n",
+		"protocol", "rt", "depth", "old txn/s", "new txn/s", "delta", "old p99", "new p99")
+	failed := false
+	for _, n := range newSnap.Rows {
+		k := key{n.Protocol, n.Runtime, n.Depth}
+		o, ok := base[k]
+		if !ok {
+			fmt.Printf("%-12s %-5s %6d %12s %12.0f %8s %12s %12s  (new cell)\n",
+				n.Protocol, n.Runtime, n.Depth, "-", n.TxnsPerSec, "-", "-", n.P99.Round(time.Microsecond))
+			continue
+		}
+		delete(base, k)
+		delta := 0.0
+		if o.TxnsPerSec > 0 {
+			delta = (n.TxnsPerSec - o.TxnsPerSec) / o.TxnsPerSec
+		}
+		mark := ""
+		if *maxRegress > 0 && delta < -*maxRegress {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-12s %-5s %6d %12.0f %12.0f %+7.1f%% %12s %12s%s\n",
+			n.Protocol, n.Runtime, n.Depth, o.TxnsPerSec, n.TxnsPerSec, delta*100,
+			o.P99.Round(time.Microsecond), n.P99.Round(time.Microsecond), mark)
+	}
+	for k := range base {
+		fmt.Printf("%-12s %-5s %6d  (cell missing from new snapshot)\n", k.proto, k.runtime, k.depth)
+	}
+
+	if oldSnap.Send != nil && newSnap.Send != nil {
+		fmt.Printf("\nsend path (e2e): allocs/envelope %.2f -> %.2f, bytes/envelope %.0f -> %.0f, wire bytes %d -> %d\n",
+			oldSnap.Send.AllocsPerEnvelope, newSnap.Send.AllocsPerEnvelope,
+			oldSnap.Send.BytesPerEnvelope, newSnap.Send.BytesPerEnvelope,
+			oldSnap.Send.WireBytesPerEnvelope, newSnap.Send.WireBytesPerEnvelope)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdiff: throughput regression beyond bound")
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,12 @@
 //	commitbench -throughput
 //	commitbench -throughput -txns 512 -depths 1,16,64,256 -protocols inbac,2pc,paxoscommit
 //
+// -runtime selects the transport under test (mesh, or tcp for one peer
+// process per participant over loopback sockets); -json additionally writes
+// the machine-readable snapshot diffed by cmd/benchdiff:
+//
+//	commitbench -throughput -runtime tcp -json BENCH_throughput_tcp.json
+//
 // KV mode drives the sharded transactional key-value store (package kv):
 // txn/s, latency percentiles, and — the numbers no preset-vote benchmark
 // can produce — the abort rate each protocol induces under real key
@@ -51,6 +57,8 @@ func main() {
 		txns       = flag.Int("txns", 256, "throughput mode: transactions per data point")
 		depths     = flag.String("depths", "1,4,16,64", "throughput mode: comma-separated in-flight depths (1 = serial baseline)")
 		protoList  = flag.String("protocols", "inbac,2pc", "throughput mode: comma-separated protocol names")
+		runtimeSel = flag.String("runtime", "mesh", "throughput mode: transport under test (mesh | tcp)")
+		jsonOut    = flag.String("json", "", "throughput mode: also write the machine-readable snapshot (BENCH_*.json) to this path")
 		timeout    = flag.Duration("timeout", 5*time.Millisecond, "throughput/kv mode: protocol timeout unit U")
 
 		kvMode    = flag.Bool("kv", false, "kv mode: sharded transactional store — txn/s and induced abort rate vs Zipf contention per protocol")
@@ -129,15 +137,32 @@ func main() {
 		for _, p := range strings.Split(*protoList, ",") {
 			ps = append(ps, strings.TrimSpace(p))
 		}
-		_, s, err := bench.Throughput(bench.ThroughputConfig{
-			Protocols: ps,
-			Depths:    ds, Txns: *txns, N: *n, F: *f, Timeout: *timeout,
+		rows, s, err := bench.Throughput(bench.ThroughputConfig{
+			Protocols: ps, Runtime: *runtimeSel,
+			Depths: ds, Txns: *txns, N: *n, F: *f, Timeout: *timeout,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)
 			os.Exit(1)
 		}
 		show(s)
+		if *jsonOut != "" {
+			var send *bench.SendStats
+			if *runtimeSel == "tcp" {
+				st, err := bench.MeasureSend()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "commitbench: send measurement: %v\n", err)
+					os.Exit(1)
+				}
+				send = &st
+			}
+			snap := bench.NewSnapshot(*runtimeSel, rows, send)
+			if err := bench.WriteSnapshot(*jsonOut, snap); err != nil {
+				fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d rows)\n", *jsonOut, len(rows))
+		}
 	}
 	if *kvMode {
 		var thetas []float64

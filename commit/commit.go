@@ -195,10 +195,12 @@ func (r ResourceFunc) Abort(txID string) {
 	}
 }
 
-// init registers every protocol message type for the TCP transport's gob
-// encoding.
+// init registers every protocol message type in the live runtime's wire
+// type-ID registry, so both transports (TCP and the in-memory mesh, which
+// round-trips the same codec) can decode them. The codec round-trip tests
+// iterate this registry — a new message type only needs to be added here.
 func init() {
-	for _, m := range []core.Message{
+	for _, m := range []core.Wire{
 		consensus.MsgPrepare{}, consensus.MsgPromise{}, consensus.MsgAccept{},
 		consensus.MsgAccepted{}, consensus.MsgNack{}, consensus.MsgDecided{},
 		consensus.MsgFlood{},
@@ -217,6 +219,6 @@ func init() {
 		paxoscommit.MsgPrepareI{}, paxoscommit.MsgPromiseI{}, paxoscommit.MsgAcceptI{},
 		paxoscommit.MsgAcceptedI{},
 	} {
-		live.RegisterMessage(m)
+		live.RegisterWire(m)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"atomiccommit/internal/core"
 	"atomiccommit/internal/live"
+	"atomiccommit/internal/wire"
 )
 
 // retireGraceUnits is how many timeout units a peer keeps a decided
@@ -28,7 +29,18 @@ type beginMsg struct{}
 // Kind implements core.Message.
 func (beginMsg) Kind() string { return "BEGIN" }
 
-func init() { live.RegisterMessage(beginMsg{}) }
+// WireID implements core.Wire (commit block, ID 1).
+func (beginMsg) WireID() uint16 { return 1 }
+
+// MarshalWire implements core.Wire.
+func (beginMsg) MarshalWire(b []byte) []byte { return b }
+
+// UnmarshalWire implements core.Wire.
+func (beginMsg) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return beginMsg{}, d.Err()
+}
+
+func init() { live.RegisterWire(beginMsg{}) }
 
 // Peer is one participant in its own address space, connected to the others
 // over TCP: the realistic deployment shape. Any peer may initiate a

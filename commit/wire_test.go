@@ -1,0 +1,224 @@
+package commit
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"atomiccommit/internal/consensus"
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/live"
+	"atomiccommit/internal/wire"
+)
+
+// fillValue populates v with deterministic non-zero data: positive ints
+// (several fields — ProcessID, paxoscommit.Inst, core.Value — ride unsigned
+// varints), true bools, short strings, and 3-element slices filled
+// recursively. Explicit cases below cover the negative (zigzag) ranges.
+func fillValue(v reflect.Value, seed int) {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(int64(seed%17 + 1))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(uint64(seed%7 + 1))
+	case reflect.String:
+		v.SetString(fmt.Sprintf("s%d", seed))
+	case reflect.Slice:
+		s := reflect.MakeSlice(v.Type(), 3, 3)
+		for i := 0; i < 3; i++ {
+			fillValue(s.Index(i), seed+3*i+1)
+		}
+		v.Set(s)
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillValue(v.Field(i), seed+i)
+		}
+	default:
+		panic(fmt.Sprintf("fillValue: unhandled kind %v", v.Kind()))
+	}
+}
+
+// roundTrip marshals m and decodes it back through its own prototype.
+func roundTrip(t *testing.T, m core.Wire) core.Message {
+	t.Helper()
+	buf := m.MarshalWire(nil)
+	var d wire.Decoder
+	d.Reset(buf)
+	out, err := m.UnmarshalWire(&d)
+	if err != nil {
+		t.Fatalf("%T: unmarshal: %v", m, err)
+	}
+	if d.Err() != nil {
+		t.Fatalf("%T: decoder error: %v", m, d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%T: %d bytes left over after decode", m, d.Remaining())
+	}
+	return out
+}
+
+// TestWireRoundTripAllRegistered round-trips every message type in the live
+// registry — zero value and a reflection-filled value — through its own
+// MarshalWire/UnmarshalWire, comparing with deep equality. A new protocol
+// message only has to be registered (commit.go's init) to be covered here.
+func TestWireRoundTripAllRegistered(t *testing.T) {
+	regs := live.RegisteredWires()
+	if len(regs) < 40 {
+		t.Fatalf("registry has only %d types; the protocol suite registers 45+", len(regs))
+	}
+	for _, proto := range regs {
+		name := fmt.Sprintf("%T#%d", proto, proto.WireID())
+		t.Run(name, func(t *testing.T) {
+			// Zero value: decoders return nil slices for zero counts, so the
+			// zero value must survive unchanged.
+			if out := roundTrip(t, proto); !reflect.DeepEqual(out, proto) {
+				t.Fatalf("zero value diverged:\n got %#v\nwant %#v", out, proto)
+			}
+			// Filled value: every field non-zero.
+			fv := reflect.New(reflect.TypeOf(proto)).Elem()
+			fillValue(fv, int(proto.WireID()))
+			in := fv.Interface().(core.Wire)
+			if out := roundTrip(t, in); !reflect.DeepEqual(out, in) {
+				t.Fatalf("filled value diverged:\n got %#v\nwant %#v", out, in)
+			}
+		})
+	}
+}
+
+// TestWireRoundTripNegativeBallots covers the zigzag-encoded fields at their
+// sentinel values: AB/AccB/Promised are -1 when nothing was accepted.
+func TestWireRoundTripNegativeBallots(t *testing.T) {
+	for _, m := range []core.Wire{
+		consensus.MsgPromise{B: 3, AB: -1, AV: core.Abort},
+		consensus.MsgNack{B: 7, Promised: -1},
+	} {
+		if out := roundTrip(t, m); !reflect.DeepEqual(out, m) {
+			t.Fatalf("%T diverged: got %#v want %#v", m, out, m)
+		}
+	}
+}
+
+// crossRuntimeVotes is the scripted vote table: participant j (1-based) votes
+// no on transaction i iff (i*7+j)%5 == 0 — a mix of unanimous-yes and
+// aborting transactions.
+func crossRuntimeVote(i, j int) bool { return (i*7+j)%5 != 0 }
+
+func crossRuntimeExpected(i, n int) bool {
+	for j := 1; j <= n; j++ {
+		if !crossRuntimeVote(i, j) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrossRuntimeEquivalence runs the same scripted transactions over the
+// in-memory mesh (Cluster) and over real TCP (Peers) and asserts both
+// runtimes reach the same decisions — the codec and framing preserve
+// protocol behavior across transports.
+func TestCrossRuntimeEquivalence(t *testing.T) {
+	const n, txns = 4, 8
+	for pi, tc := range []struct {
+		protocol Protocol
+		basePort int
+	}{
+		{INBAC, 38500},
+		{TwoPC, 38520},
+	} {
+		t.Run(string(tc.protocol), func(t *testing.T) {
+			opts := Options{Protocol: tc.protocol, F: 1, Timeout: 60 * time.Millisecond}
+			parse := func(txID string) int {
+				var i int
+				fmt.Sscanf(txID, "eq-%d", &i)
+				return i
+			}
+
+			// Mesh runtime.
+			meshDecisions := make([]bool, txns)
+			{
+				resources := make([]Resource, n)
+				for j := 1; j <= n; j++ {
+					j := j
+					resources[j-1] = ResourceFunc{PrepareFn: func(txID string) bool {
+						return crossRuntimeVote(parse(txID), j)
+					}}
+				}
+				cl, err := NewCluster(resources, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer cl.Close()
+				for i := 0; i < txns; i++ {
+					ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+					ok, err := cl.Commit(ctx, fmt.Sprintf("eq-%d", i))
+					cancel()
+					if err != nil {
+						t.Fatalf("mesh txn %d: %v", i, err)
+					}
+					meshDecisions[i] = ok
+				}
+			}
+
+			// TCP runtime: one Peer per participant on loopback.
+			tcpDecisions := make([]bool, txns)
+			{
+				addrs := make([]string, n)
+				for j := 0; j < n; j++ {
+					addrs[j] = fmt.Sprintf("127.0.0.1:%d", tc.basePort+pi+j)
+				}
+				peers := make([]*Peer, n)
+				for j := 1; j <= n; j++ {
+					j := j
+					p, err := NewPeer(j, addrs, ResourceFunc{PrepareFn: func(txID string) bool {
+						return crossRuntimeVote(parse(txID), j)
+					}}, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer p.Close()
+					peers[j-1] = p
+				}
+				for i := 0; i < txns; i++ {
+					txID := fmt.Sprintf("eq-%d", i)
+					ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+					var wg sync.WaitGroup
+					results := make([]bool, n)
+					errs := make([]error, n)
+					for j := 2; j <= n; j++ {
+						wg.Add(1)
+						go func(j int) {
+							defer wg.Done()
+							results[j-1], errs[j-1] = peers[j-1].Wait(ctx, txID)
+						}(j)
+					}
+					results[0], errs[0] = peers[0].Commit(ctx, txID)
+					wg.Wait()
+					cancel()
+					for j := 1; j <= n; j++ {
+						if errs[j-1] != nil {
+							t.Fatalf("tcp txn %d peer %d: %v", i, j, errs[j-1])
+						}
+						if results[j-1] != results[0] {
+							t.Fatalf("tcp txn %d: peer %d decided %v, peer 1 decided %v",
+								i, j, results[j-1], results[0])
+						}
+					}
+					tcpDecisions[i] = results[0]
+				}
+			}
+
+			for i := 0; i < txns; i++ {
+				want := crossRuntimeExpected(i, n)
+				if meshDecisions[i] != want || tcpDecisions[i] != want {
+					t.Fatalf("txn %d: mesh=%v tcp=%v, votes say %v",
+						i, meshDecisions[i], tcpDecisions[i], want)
+				}
+			}
+		})
+	}
+}

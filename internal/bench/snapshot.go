@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/live"
+	"atomiccommit/internal/protocols/inbac"
+)
+
+// SnapshotSchema versions the BENCH_*.json layout. Bump only on
+// incompatible change (renamed/removed fields); added fields are free.
+const SnapshotSchema = 1
+
+// Snapshot is the machine-readable benchmark result committed as
+// BENCH_<kind>_<runtime>.json and diffed by cmd/benchdiff. Every number a
+// regression check needs is in here; the human-readable table is derived,
+// never parsed.
+type Snapshot struct {
+	Schema    int    `json:"schema"`
+	Kind      string `json:"kind"` // "throughput"
+	Runtime   string `json:"runtime"`
+	GoVersion string `json:"go"`
+
+	Rows []ThroughputRow `json:"rows"`
+
+	// Send characterizes the transport hot path, independent of protocol.
+	Send *SendStats `json:"send,omitempty"`
+}
+
+// SendStats is the per-envelope cost of the live TCP path, measured
+// end-to-end in one process: encode + frame + flush + read + decode +
+// deliver. The send half alone is allocation-free once buffers are warm
+// (pinned by TestTCPSendSteadyStateAllocs); the decode half pays for the
+// copies the codec guarantees (TxID string, payload slices).
+type SendStats struct {
+	AllocsPerEnvelope float64 `json:"allocsPerEnvelope"`
+	BytesPerEnvelope  float64 `json:"bytesPerEnvelope"`
+	// WireBytesPerEnvelope is the envelope's size inside a frame (the
+	// measured message is a one-field protocol vote, the hot-path common
+	// case; gob put ~10x more on the wire for the same message).
+	WireBytesPerEnvelope int `json:"wireBytesPerEnvelope"`
+}
+
+// MeasureSend runs the end-to-end envelope cost measurement over a loopback
+// TCP pair.
+func MeasureSend() (SendStats, error) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	recv, err := live.NewTCP(2, addrs)
+	if err != nil {
+		return SendStats{}, err
+	}
+	defer recv.Close()
+	addrs[1] = recv.Addr()
+	send, err := live.NewTCP(1, addrs)
+	if err != nil {
+		return SendStats{}, err
+	}
+	defer send.Close()
+
+	var delivered atomic.Int64
+	recv.SetHandler(func(live.Envelope) { delivered.Add(1) })
+
+	e := live.Envelope{TxID: "bench-send", From: 1, To: 2, Msg: inbac.MsgV{V: core.Commit}}
+	wireBytes, err := live.EncodedSize(e)
+	if err != nil {
+		return SendStats{}, err
+	}
+
+	settle := func(want int64) error {
+		deadline := time.Now().Add(30 * time.Second)
+		for delivered.Load() < want {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("bench: only %d/%d envelopes delivered", delivered.Load(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	}
+
+	const warm, runs = 2048, 16384
+	for i := 0; i < warm; i++ {
+		if err := send.Send(e); err != nil {
+			return SendStats{}, err
+		}
+	}
+	if err := settle(warm); err != nil {
+		return SendStats{}, err
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < runs; i++ {
+		if err := send.Send(e); err != nil {
+			return SendStats{}, err
+		}
+	}
+	if err := settle(warm + runs); err != nil {
+		return SendStats{}, err
+	}
+	runtime.ReadMemStats(&m1)
+
+	return SendStats{
+		AllocsPerEnvelope:    float64(m1.Mallocs-m0.Mallocs) / runs,
+		BytesPerEnvelope:     float64(m1.TotalAlloc-m0.TotalAlloc) / runs,
+		WireBytesPerEnvelope: wireBytes,
+	}, nil
+}
+
+// NewSnapshot assembles a throughput snapshot.
+func NewSnapshot(runtimeName string, rows []ThroughputRow, send *SendStats) Snapshot {
+	return Snapshot{
+		Schema: SnapshotSchema, Kind: "throughput", Runtime: runtimeName,
+		GoVersion: runtime.Version(), Rows: rows, Send: send,
+	}
+}
+
+// WriteSnapshot writes s as indented JSON (stable field order, trailing
+// newline — diff-friendly for the committed snapshots).
+func WriteSnapshot(path string, s Snapshot) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadSnapshot loads a snapshot written by WriteSnapshot.
+func ReadSnapshot(path string) (Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if s.Schema != SnapshotSchema {
+		return Snapshot{}, fmt.Errorf("bench: %s has schema %d, this binary reads %d", path, s.Schema, SnapshotSchema)
+	}
+	return s, nil
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestThroughputTCPRuntime(t *testing.T) {
+	rows, out, err := Throughput(ThroughputConfig{
+		Protocols: []string{"2pc"}, Depths: []int{1, 4}, Txns: 16,
+		N: 3, F: 1, Timeout: 20 * time.Millisecond, Runtime: "tcp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Runtime != "tcp" {
+			t.Errorf("row runtime %q, want tcp", r.Runtime)
+		}
+		if r.TxnsPerSec <= 0 || r.P50 <= 0 || r.AllocsPerTxn <= 0 {
+			t.Errorf("implausible row %+v", r)
+		}
+	}
+	if out == "" {
+		t.Error("no table rendered")
+	}
+}
+
+func TestThroughputRejectsUnknownRuntime(t *testing.T) {
+	if _, _, err := Throughput(ThroughputConfig{Runtime: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown runtime must be rejected")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := NewSnapshot("tcp", []ThroughputRow{{
+		Protocol: "inbac", Runtime: "tcp", N: 4, F: 1, Depth: 64, Txns: 256,
+		U:          5 * time.Millisecond,
+		TxnsPerSec: 12345.6, P50: 42 * time.Microsecond, P95: 99 * time.Microsecond,
+		P99: 120 * time.Microsecond, AllocsPerTxn: 77, BytesPerTxn: 4096,
+		SpeedupVsSerial: 8.5,
+	}}, &SendStats{AllocsPerEnvelope: 3.5, BytesPerEnvelope: 96, WireBytesPerEnvelope: 14})
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("snapshot diverged:\n got %+v\nwant %+v", got, snap)
+	}
+}
+
+func TestMeasureSendSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	st, err := MeasureSend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The e2e path (encode + frame + read + decode + deliver) allocates a
+	// handful of objects per envelope for the copies the codec guarantees;
+	// far above that means a pooled buffer stopped being reused.
+	if st.AllocsPerEnvelope < 0 || st.AllocsPerEnvelope > 32 {
+		t.Errorf("allocs/envelope %.2f out of sane range", st.AllocsPerEnvelope)
+	}
+	// A one-field vote rides in ~15 bytes; gob needed ~10x that.
+	if st.WireBytesPerEnvelope <= 0 || st.WireBytesPerEnvelope > 64 {
+		t.Errorf("wire bytes/envelope %d out of sane range", st.WireBytesPerEnvelope)
+	}
+}

@@ -3,34 +3,54 @@ package bench
 import (
 	"context"
 	"fmt"
+	"net"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"atomiccommit/commit"
 )
 
 // ThroughputRow is one throughput data point: one protocol driven with a
-// fixed number of transactions at one in-flight depth on the in-memory
-// mesh. Depth 1 is the serial baseline (a plain Commit loop); deeper rows
-// go through the pipeline (Cluster.Submit).
+// fixed number of transactions at one in-flight depth on one runtime (the
+// in-memory mesh or real TCP over loopback). Depth 1 is the serial baseline
+// (a plain Commit loop); deeper rows run depth transactions concurrently.
+//
+// The rows serialize to the committed BENCH_*.json snapshots, so field names
+// are part of the snapshot schema: add fields freely, never rename.
 type ThroughputRow struct {
-	Protocol string
-	N, F     int
-	Depth    int
-	Txns     int
+	Protocol string `json:"protocol"`
+	Runtime  string `json:"runtime"` // "mesh" or "tcp"
+	N        int    `json:"n"`
+	F        int    `json:"f"`
+	Depth    int    `json:"depth"`
+	Txns     int    `json:"txns"`
+	// U is the protocol timeout unit the point ran with; throughput numbers
+	// are only comparable between rows with the same U.
+	U time.Duration `json:"uNs"`
 
-	TxnsPerSec float64
-	// Per-transaction protocol latency percentiles (dispatch to decision;
-	// queueing behind the window is excluded).
-	P50, P95, P99 time.Duration
+	TxnsPerSec float64 `json:"txnsPerSec"`
+	// Per-transaction protocol latency percentiles in nanoseconds (dispatch
+	// to decision; queueing behind the window is excluded).
+	P50 time.Duration `json:"p50ns"`
+	P95 time.Duration `json:"p95ns"`
+	P99 time.Duration `json:"p99ns"`
 	// Aborted counts transactions that decided abort. All votes are yes, so
 	// any abort is an indulgent protocol's legal reaction to a violated
 	// timing bound under load (the run stays safe; it just aborts).
-	Aborted int
+	Aborted int `json:"aborted"`
+
+	// AllocsPerTxn and BytesPerTxn are process-wide heap costs per
+	// transaction (all n participants run in this process, so this is the
+	// whole cluster's footprint per commit, protocol + transport + codec).
+	AllocsPerTxn float64 `json:"allocsPerTxn"`
+	BytesPerTxn  float64 `json:"bytesPerTxn"`
 
 	// SpeedupVsSerial is TxnsPerSec over the depth-1 row of the same
 	// protocol (1 for the baseline itself).
-	SpeedupVsSerial float64
+	SpeedupVsSerial float64 `json:"speedupVsSerial"`
 }
 
 // ThroughputConfig parameterizes a throughput run.
@@ -40,9 +60,13 @@ type ThroughputConfig struct {
 	Txns      int           // transactions per data point; 0 = 256
 	N, F      int           // cluster size / resilience; 0 = 4, 1
 	Timeout   time.Duration // protocol timeout unit; 0 = 5ms
+	// Runtime selects the transport under test: "mesh" (default) is the
+	// in-memory cluster, "tcp" runs one commit.Peer per participant over
+	// loopback sockets — real framing, real flushes, real reads.
+	Runtime string
 }
 
-func (c ThroughputConfig) withDefaults() ThroughputConfig {
+func (c ThroughputConfig) withDefaults() (ThroughputConfig, error) {
 	if len(c.Protocols) == 0 {
 		c.Protocols = []string{"inbac", "2pc"}
 	}
@@ -61,7 +85,14 @@ func (c ThroughputConfig) withDefaults() ThroughputConfig {
 	if c.Timeout <= 0 {
 		c.Timeout = 5 * time.Millisecond
 	}
-	return c
+	switch c.Runtime {
+	case "":
+		c.Runtime = "mesh"
+	case "mesh", "tcp":
+	default:
+		return c, fmt.Errorf("bench: unknown runtime %q (mesh or tcp)", c.Runtime)
+	}
+	return c, nil
 }
 
 // Throughput measures commit throughput and latency percentiles per
@@ -69,7 +100,10 @@ func (c ThroughputConfig) withDefaults() ThroughputConfig {
 // al. rendered on this repository's live runtime. It returns structured
 // rows plus a formatted table.
 func Throughput(cfg ThroughputConfig) ([]ThroughputRow, string, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, "", err
+	}
 	var rows []ThroughputRow
 	for _, name := range cfg.Protocols {
 		first := len(rows)
@@ -94,66 +128,112 @@ func Throughput(cfg ThroughputConfig) ([]ThroughputRow, string, error) {
 	}
 
 	var t table
-	t.title(fmt.Sprintf("Commit throughput vs in-flight depth (n=%d f=%d, %d txns/point, U=%v)",
-		cfg.N, cfg.F, cfg.Txns, cfg.Timeout))
-	t.row("%-12s %6s %10s %10s %10s %10s %9s %7s", "protocol", "depth", "txn/s", "p50", "p95", "p99", "speedup", "aborts")
+	t.title(fmt.Sprintf("Commit throughput vs in-flight depth (%s runtime, n=%d f=%d, %d txns/point, U=%v)",
+		cfg.Runtime, cfg.N, cfg.F, cfg.Txns, cfg.Timeout))
+	t.row("%-12s %6s %10s %10s %10s %10s %9s %7s %10s", "protocol", "depth", "txn/s", "p50", "p95", "p99", "speedup", "aborts", "allocs/txn")
 	for _, r := range rows {
-		t.row("%-12s %6d %10.0f %10s %10s %10s %8.1fx %7d",
+		t.row("%-12s %6d %10.0f %10s %10s %10s %8.1fx %7d %10.0f",
 			r.Protocol, r.Depth, r.TxnsPerSec, r.P50.Round(time.Microsecond),
-			r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.SpeedupVsSerial, r.Aborted)
+			r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.SpeedupVsSerial, r.Aborted, r.AllocsPerTxn)
 	}
 	return rows, t.String(), nil
 }
 
-// throughputPoint runs one (protocol, depth) cell on a fresh in-memory
+// committer abstracts "commit txID and report the decision" over the two
+// runtimes so one driver measures both.
+type committer func(ctx context.Context, txID string) (bool, error)
+
+// throughputPoint runs one (protocol, depth, runtime) cell on a fresh
 // cluster. Depth 1 is a serial Commit loop — the baseline the pipeline's
 // speedup is quoted against.
 func throughputPoint(name string, depth int, cfg ThroughputConfig) (ThroughputRow, error) {
-	rs := make([]commit.Resource, cfg.N)
-	for i := range rs {
-		rs[i] = commit.ResourceFunc{}
+	var do committer
+	var cleanup func()
+	switch cfg.Runtime {
+	case "tcp":
+		peers, err := tcpPeers(name, depth, cfg)
+		if err != nil {
+			return ThroughputRow{}, err
+		}
+		do = func(ctx context.Context, txID string) (bool, error) {
+			return peers[0].Commit(ctx, txID)
+		}
+		cleanup = func() {
+			for _, p := range peers {
+				p.Close()
+			}
+		}
+	default:
+		rs := make([]commit.Resource, cfg.N)
+		for i := range rs {
+			rs[i] = commit.ResourceFunc{}
+		}
+		cl, err := commit.NewCluster(rs, commit.Options{
+			Protocol: commit.Protocol(name), F: cfg.F, Timeout: cfg.Timeout, MaxInFlight: depth})
+		if err != nil {
+			return ThroughputRow{}, err
+		}
+		do = cl.Commit
+		cleanup = cl.Close
 	}
-	cl, err := commit.NewCluster(rs, commit.Options{
-		Protocol: commit.Protocol(name), F: cfg.F, Timeout: cfg.Timeout, MaxInFlight: depth})
-	if err != nil {
-		return ThroughputRow{}, err
-	}
-	defer cl.Close()
+	defer cleanup()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
-	latencies := make([]time.Duration, 0, cfg.Txns)
-	aborted := 0
+
+	latencies := make([]time.Duration, cfg.Txns)
+	var aborted atomic.Int64
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	begin := time.Now()
 	if depth == 1 {
 		for i := 0; i < cfg.Txns; i++ {
 			start := time.Now()
-			ok, err := cl.Commit(ctx, fmt.Sprintf("%s-serial-%d", name, i))
+			ok, err := do(ctx, fmt.Sprintf("%s-serial-%d", name, i))
 			if err != nil {
 				return ThroughputRow{}, fmt.Errorf("bench: %s serial txn %d: %w", name, i, err)
 			}
 			if !ok {
-				aborted++
+				aborted.Add(1)
 			}
-			latencies = append(latencies, time.Since(start))
+			latencies[i] = time.Since(start)
 		}
 	} else {
-		txns := make([]*commit.Txn, cfg.Txns)
-		for i := range txns {
-			txns[i] = cl.Submit(ctx, fmt.Sprintf("%s-d%d-%d", name, depth, i))
+		// depth concurrent committers over a shared work queue: the windowed
+		// equivalent of the pipeline, expressed runtime-independently.
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		var firstErr atomic.Value
+		for w := 0; w < depth; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= cfg.Txns || firstErr.Load() != nil {
+						return
+					}
+					start := time.Now()
+					ok, err := do(ctx, fmt.Sprintf("%s-d%d-%d", name, depth, i))
+					if err != nil {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("bench: %s depth %d txn %d: %w", name, depth, i, err))
+						return
+					}
+					if !ok {
+						aborted.Add(1)
+					}
+					latencies[i] = time.Since(start)
+				}
+			}()
 		}
-		for i, t := range txns {
-			ok, err := t.Wait(ctx)
-			if err != nil {
-				return ThroughputRow{}, fmt.Errorf("bench: %s depth %d txn %d: %w", name, depth, i, err)
-			}
-			if !ok {
-				aborted++
-			}
-			latencies = append(latencies, t.Latency())
+		wg.Wait()
+		if err := firstErr.Load(); err != nil {
+			return ThroughputRow{}, err.(error)
 		}
 	}
 	elapsed := time.Since(begin)
+	runtime.ReadMemStats(&m1)
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	pct := func(p float64) time.Duration {
@@ -161,9 +241,44 @@ func throughputPoint(name string, depth int, cfg ThroughputConfig) (ThroughputRo
 		return latencies[idx]
 	}
 	return ThroughputRow{
-		Protocol: name, N: cfg.N, F: cfg.F, Depth: depth, Txns: cfg.Txns,
+		Protocol: name, Runtime: cfg.Runtime, N: cfg.N, F: cfg.F, Depth: depth, Txns: cfg.Txns,
+		U:          cfg.Timeout,
 		TxnsPerSec: float64(cfg.Txns) / elapsed.Seconds(),
 		P50:        pct(0.50), P95: pct(0.95), P99: pct(0.99),
-		Aborted: aborted,
+		Aborted:      int(aborted.Load()),
+		AllocsPerTxn: float64(m1.Mallocs-m0.Mallocs) / float64(cfg.Txns),
+		BytesPerTxn:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(cfg.Txns),
 	}, nil
+}
+
+// tcpPeers boots one commit.Peer per participant on loopback ephemeral
+// ports. Ports are reserved by binding and releasing listeners first,
+// because every peer needs the full address list up front.
+func tcpPeers(name string, depth int, cfg ThroughputConfig) ([]*commit.Peer, error) {
+	addrs := make([]string, cfg.N)
+	lns := make([]net.Listener, cfg.N)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("bench: reserve port: %w", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	peers := make([]*commit.Peer, cfg.N)
+	for i := 1; i <= cfg.N; i++ {
+		p, err := commit.NewPeer(i, addrs, commit.ResourceFunc{}, commit.Options{
+			Protocol: commit.Protocol(name), F: cfg.F, Timeout: cfg.Timeout, MaxInFlight: depth})
+		if err != nil {
+			for _, q := range peers[:i-1] {
+				q.Close()
+			}
+			return nil, err
+		}
+		peers[i-1] = p
+	}
+	return peers, nil
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // Message types. All consensus messages implement core.Message.
@@ -62,6 +63,74 @@ func (MsgAccept) Kind() string   { return "c2a" }
 func (MsgAccepted) Kind() string { return "c2b" }
 func (MsgNack) Kind() string     { return "cNACK" }
 func (MsgDecided) Kind() string  { return "cDEC" }
+
+// Wire IDs (consensus block 8..14; see internal/live's registry).
+const (
+	wireIDPrepare uint16 = 8 + iota
+	wireIDPromise
+	wireIDAccept
+	wireIDAccepted
+	wireIDNack
+	wireIDDecided
+	wireIDFlood
+)
+
+func (MsgPrepare) WireID() uint16  { return wireIDPrepare }
+func (MsgPromise) WireID() uint16  { return wireIDPromise }
+func (MsgAccept) WireID() uint16   { return wireIDAccept }
+func (MsgAccepted) WireID() uint16 { return wireIDAccepted }
+func (MsgNack) WireID() uint16     { return wireIDNack }
+func (MsgDecided) WireID() uint16  { return wireIDDecided }
+
+// Ballots are zigzag varints: -1 ("none yet") is a legal value.
+
+func (m MsgPrepare) MarshalWire(b []byte) []byte { return wire.AppendInt(b, m.B) }
+func (MsgPrepare) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgPrepare{B: d.Int()}, d.Err()
+}
+
+func (m MsgPromise) MarshalWire(b []byte) []byte {
+	b = wire.AppendInt(b, m.B)
+	b = wire.AppendInt(b, m.AB)
+	return wire.AppendUvarint(b, uint64(m.AV))
+}
+
+func (MsgPromise) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	m := MsgPromise{B: d.Int(), AB: d.Int(), AV: core.Value(d.Uvarint())}
+	return m, d.Err()
+}
+
+func (m MsgAccept) MarshalWire(b []byte) []byte {
+	b = wire.AppendInt(b, m.B)
+	return wire.AppendUvarint(b, uint64(m.V))
+}
+
+func (MsgAccept) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgAccept{B: d.Int(), V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (m MsgAccepted) MarshalWire(b []byte) []byte {
+	b = wire.AppendInt(b, m.B)
+	return wire.AppendUvarint(b, uint64(m.V))
+}
+
+func (MsgAccepted) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgAccepted{B: d.Int(), V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (m MsgNack) MarshalWire(b []byte) []byte {
+	b = wire.AppendInt(b, m.B)
+	return wire.AppendInt(b, m.Promised)
+}
+
+func (MsgNack) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgNack{B: d.Int(), Promised: d.Int()}, d.Err()
+}
+
+func (m MsgDecided) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgDecided) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgDecided{V: core.Value(d.Uvarint())}, d.Err()
+}
 
 // Consensus is one process's consensus module. Create one per process with
 // New and register it under the parent protocol via Env.Register.

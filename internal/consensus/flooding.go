@@ -2,6 +2,7 @@ package consensus
 
 import (
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // Flooding is a synchronous uniform consensus: f+1 timer-driven rounds of
@@ -41,6 +42,20 @@ type MsgFlood struct {
 
 // Kind implements core.Message.
 func (MsgFlood) Kind() string { return "cFLOOD" }
+
+// WireID implements core.Wire.
+func (MsgFlood) WireID() uint16 { return wireIDFlood }
+
+// MarshalWire implements core.Wire.
+func (m MsgFlood) MarshalWire(b []byte) []byte {
+	b = wire.AppendInt(b, m.Round)
+	return wire.AppendBytes(b, m.View)
+}
+
+// UnmarshalWire implements core.Wire.
+func (MsgFlood) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgFlood{Round: d.Int(), View: d.Bytes()}, d.Err()
+}
 
 const floodUnknown uint8 = 255
 

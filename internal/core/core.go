@@ -16,7 +16,11 @@
 // goroutine runtime (internal/live) used by the public commit package.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"atomiccommit/internal/wire"
+)
 
 // ProcessID identifies a process. Processes are numbered 1..n exactly as in
 // the paper (P1, P2, ..., Pn); 0 is not a valid ProcessID.
@@ -60,11 +64,40 @@ type Ticks int64
 
 // Message is a protocol message. Concrete types are defined by each protocol
 // package. Implementations must be self-contained values (no pointers into
-// protocol state) because the live runtime serializes them with encoding/gob
+// protocol state) because the live runtime serializes them onto the wire
 // and the simulator may deliver them arbitrarily later.
 type Message interface {
 	// Kind returns a short, stable tag used in traces, e.g. "V", "C", "HELP".
 	Kind() string
+}
+
+// Wire is a Message with a hand-rolled binary encoding, the contract every
+// message that crosses the live runtime's transports must satisfy (the
+// simulator passes values in memory and needs none of this). Encodings use
+// the internal/wire conventions: varint integers, length-prefixed strings
+// and slices. Both runtimes exercise the codec — the TCP transport on the
+// socket, the in-memory mesh as a round-trip — so an encoding bug cannot
+// hide behind the mesh's reference passing.
+type Wire interface {
+	Message
+
+	// WireID returns the message type's globally unique wire identifier.
+	// IDs are allocated in per-package blocks (see internal/live's registry)
+	// and must never be renumbered once a version has shipped: the ID is
+	// the only type information on the wire.
+	WireID() uint16
+
+	// MarshalWire appends the message's encoding to b and returns the
+	// extended slice, append-style: the caller owns the buffer, so a warm
+	// send path allocates nothing.
+	MarshalWire(b []byte) []byte
+
+	// UnmarshalWire decodes one message from d and returns it as a fresh
+	// value (the receiver is only a prototype — implementations use a value
+	// receiver and do not mutate it). Decoded slices must be copies: the
+	// decoder's buffer is pooled and reused after the call. Field-by-field
+	// decoders may rely on d's sticky error and return d.Err() once.
+	UnmarshalWire(d *wire.Decoder) (Message, error)
 }
 
 // Module is a protocol instance at one process. The runtime guarantees that

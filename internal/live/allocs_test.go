@@ -1,0 +1,67 @@
+//go:build !race
+
+// The race detector instruments allocations, so the alloc-count guard only
+// runs in non-race test invocations (the CI bench smoke job).
+
+package live
+
+import (
+	"testing"
+	"time"
+
+	"atomiccommit/internal/core"
+)
+
+// TestTCPSendSteadyStateAllocs pins the hot send path at (amortized) zero
+// allocations per envelope: appendEnvelope writes into the connection's
+// reused pending/scratch buffers, and the flush loop recycles its frame
+// buffer, so once those buffers have grown to working size nothing on the
+// per-envelope path allocates.
+func TestTCPSendSteadyStateAllocs(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	t2, err := NewTCP(2, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+	addrs[1] = t2.Addr()
+	t1, err := NewTCP(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+
+	recv := make(chan struct{}, 4096)
+	t2.SetHandler(func(Envelope) {
+		select {
+		case recv <- struct{}{}:
+		default:
+		}
+	})
+
+	e := Envelope{TxID: "alloc-test", From: 1, To: 2, Path: "", Msg: echoMsg{V: core.Commit}}
+
+	// Warm-up: dial the connection and grow the pending/scratch/frame
+	// buffers to steady state.
+	for i := 0; i < 512; i++ {
+		if err := t1.Send(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-recv:
+	case <-time.After(5 * time.Second):
+		t.Fatal("warm-up envelopes never delivered")
+	}
+
+	avg := testing.AllocsPerRun(2000, func() {
+		if err := t1.Send(e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The flush goroutine occasionally regrows a buffer concurrently with
+	// the measured loop; allow a small epsilon above the ~0 target.
+	if avg > 0.1 {
+		t.Fatalf("steady-state Send allocates %.3f allocs/envelope, want ~0", avg)
+	}
+}

@@ -1,7 +1,10 @@
 // Package live runs the same core.Module protocol code the simulator runs,
 // but over real time and real transports: one goroutine per process, timers
-// from the standard library, and pluggable message delivery (in-memory
-// channels or TCP+gob).
+// from the standard library, and pluggable message delivery (an in-memory
+// mesh or TCP). Both transports speak the hand-rolled binary wire codec
+// (core.Wire + this package's type-ID registry); the TCP transport
+// additionally packs the envelopes of many concurrent protocol instances
+// into one length-prefixed frame per flush.
 //
 // Time mapping: one core.Ticks equals one millisecond. Env.U() is the
 // configured timeout unit (the "known upper bound on message delay" the

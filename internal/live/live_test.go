@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // echoMsg is the test protocol's message.
@@ -16,7 +17,16 @@ type echoMsg struct{ V core.Value }
 
 func (echoMsg) Kind() string { return "ECHO" }
 
-func init() { RegisterMessage(echoMsg{}) }
+// Wire methods (test ID block >= 240).
+func (echoMsg) WireID() uint16 { return 240 }
+
+func (m echoMsg) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+
+func (echoMsg) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return echoMsg{V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func init() { RegisterWire(echoMsg{}) }
 
 // echo broadcasts its vote and decides the AND of everything seen at its
 // U-timer — a minimal protocol exercising Send, timers, and Decide.

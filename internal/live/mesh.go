@@ -1,16 +1,27 @@
 package live
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // Mesh is an in-memory network connecting n processes in one address space:
 // the transport behind the public commit.Cluster. Latency and partitions are
 // injectable, which the failure examples and tests use.
+//
+// Every envelope whose message implements core.Wire is round-tripped through
+// the same binary codec the TCP transport puts on the socket (encode into a
+// pooled buffer, decode into a fresh value, deliver the copy). That keeps
+// the two runtimes on one wire contract — an encoding bug or a forgotten
+// field surfaces in every mesh test, not only under TCP — and gives mesh
+// deliveries the same copy semantics as real networking: a receiver can
+// never alias the sender's slices. Messages that do not implement core.Wire
+// (test doubles) are delivered by reference as before.
 type Mesh struct {
 	mu       sync.RWMutex
 	handlers map[core.ProcessID]func(Envelope)
@@ -59,6 +70,34 @@ func (t *meshEndpoint) SetHandler(h func(Envelope)) {
 	t.mesh.handlers[t.id] = h
 }
 
+// meshBuf is the pooled scratch pair for the mesh's codec round-trip.
+type meshBuf struct {
+	frame   []byte
+	scratch []byte
+}
+
+var meshBufPool = sync.Pool{New: func() any { return new(meshBuf) }}
+
+// roundTrip encodes and decodes e through the wire codec (see the Mesh
+// comment). The returned envelope owns all of its memory: the pooled buffer
+// is released before returning.
+func roundTrip(e Envelope) (Envelope, error) {
+	bb := meshBufPool.Get().(*meshBuf)
+	defer meshBufPool.Put(bb)
+	var err error
+	bb.frame, bb.scratch, err = appendEnvelope(bb.frame[:0], &e, bb.scratch)
+	if err != nil {
+		return Envelope{}, err
+	}
+	var d wire.Decoder
+	d.Reset(bb.frame)
+	out, err := decodeEnvelope(&d)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("live: mesh codec round-trip of %T: %w", e.Msg, err)
+	}
+	return out, nil
+}
+
 func (t *meshEndpoint) Send(e Envelope) error {
 	t.mesh.mu.RLock()
 	h := t.mesh.handlers[e.To]
@@ -67,6 +106,12 @@ func (t *meshEndpoint) Send(e Envelope) error {
 	t.mesh.mu.RUnlock()
 	if h == nil || (drop != nil && drop(e)) {
 		return nil // silence models a crashed/partitioned peer
+	}
+	if _, ok := e.Msg.(core.Wire); ok {
+		var err error
+		if e, err = roundTrip(e); err != nil {
+			return err
+		}
 	}
 	deliver := func() { h(e) }
 	if lat != nil {

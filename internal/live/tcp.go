@@ -2,34 +2,53 @@ package live
 
 import (
 	"bufio"
-	"encoding/gob"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
-// RegisterMessage makes a concrete message type encodable inside an
-// Envelope (gob needs every interface implementation registered once). The
-// public commit package registers every protocol's messages at init.
-func RegisterMessage(m core.Message) { gob.Register(m) }
-
-// sendBufferSize is the per-connection write buffer. Envelopes are tens to
-// a few hundred bytes, so one flush can carry hundreds of messages.
+// sendBufferSize is the per-connection read buffer. Envelopes are tens to a
+// few hundred bytes, so one frame can carry hundreds of messages.
 const sendBufferSize = 64 << 10
 
-// TCP is the cross-address-space transport: one listener per process, lazy
-// dialing with bounded retries, gob-encoded envelopes. An unreachable peer
-// behaves as crashed (sends are dropped silently), which is precisely the
-// failure model the protocols handle.
+// Frame layout: everything buffered between two flushes — envelopes from
+// MANY protocol instances (the pipeline runs hundreds concurrently) — goes
+// out as ONE length-prefixed frame in one writev:
 //
-// Writes are batched: Send encodes into a per-connection buffer and a
-// dedicated flush loop pushes it to the socket. While one flush syscall is
-// in progress, concurrent senders keep encoding into the buffer, so a
-// pipeline with thousands of in-flight envelopes pays one syscall per batch
-// rather than one per message; a lone envelope is still flushed immediately.
+//	byte     version (frameVersion)
+//	uvarint  length of the envelope block
+//	bytes    envelopes, back to back (see wire.go for the envelope layout)
+//
+// The reader slurps a whole frame into a reused buffer and dispatches every
+// envelope, so a deep pipeline pays one read syscall per batch, mirroring
+// the writer.
+const (
+	frameVersion = 0x01
+	// maxFrameSize bounds a frame on the read side: a corrupt length prefix
+	// must not convince us to allocate gigabytes. 8 MiB is orders of
+	// magnitude above anything the protocols produce per flush.
+	maxFrameSize = 8 << 20
+)
+
+// TCP is the cross-address-space transport: one listener per process, lazy
+// dialing with bounded retries, envelopes in the hand-rolled wire codec. An
+// unreachable peer behaves as crashed (sends are dropped silently), which is
+// precisely the failure model the protocols handle.
+//
+// Writes are batched and allocation-free at steady state: Send appends the
+// envelope's encoding to a per-connection pending buffer (no intermediate
+// objects, no reflection) and a dedicated flush loop swaps in a spare buffer
+// and pushes the full frame to the socket. While one frame is in flight,
+// concurrent senders keep appending to the other buffer, so a pipeline with
+// thousands of in-flight envelopes pays one syscall per frame rather than
+// one per message; a lone envelope is still flushed immediately.
 type TCP struct {
 	id    core.ProcessID
 	addrs map[core.ProcessID]string
@@ -53,10 +72,17 @@ type tcpConn struct {
 	kick chan struct{}
 
 	mu       sync.Mutex
-	bw       *bufio.Writer
-	enc      *gob.Encoder
-	err      error // sticky: first encode/flush failure; the conn is dead after
+	pending  []byte // encoded envelopes awaiting the next frame
+	scratch  []byte // per-message payload scratch for appendEnvelope
+	err      error  // sticky: first encode/flush failure; the conn is dead after
 	shutdown bool
+}
+
+// dead reports whether the connection can no longer carry envelopes.
+func (conn *tcpConn) dead() bool {
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	return conn.err != nil || conn.shutdown
 }
 
 // shut makes the connection unusable and stops its flush loop. Idempotent;
@@ -121,6 +147,11 @@ func (t *TCP) acceptLoop() {
 	}
 }
 
+// readLoop decodes frames off one inbound connection. Any framing or codec
+// error drops the connection — the peer then looks crashed, which the
+// protocols tolerate — except an unknown message type ID, which is skipped
+// envelope by envelope so mixed-version peers keep interoperating on the
+// types both sides know.
 func (t *TCP) readLoop(c net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -129,17 +160,40 @@ func (t *TCP) readLoop(c net.Conn) {
 		t.mu.Unlock()
 		c.Close()
 	}()
-	dec := gob.NewDecoder(bufio.NewReaderSize(c, sendBufferSize))
+	br := bufio.NewReaderSize(c, sendBufferSize)
+	var frame []byte // reused across frames
+	var d wire.Decoder
 	for {
-		var e Envelope
-		if err := dec.Decode(&e); err != nil {
+		ver, err := br.ReadByte()
+		if err != nil || ver != frameVersion {
+			return
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n > maxFrameSize {
+			return
+		}
+		if uint64(cap(frame)) < n {
+			frame = make([]byte, n)
+		}
+		frame = frame[:n]
+		if _, err := io.ReadFull(br, frame); err != nil {
 			return
 		}
 		t.mu.Lock()
 		h := t.handler
 		t.mu.Unlock()
-		if h != nil {
-			h(e)
+		d.Reset(frame)
+		for d.Remaining() > 0 {
+			e, err := decodeEnvelope(&d)
+			if err != nil {
+				if errors.Is(err, errUnknownWireID) {
+					continue
+				}
+				return
+			}
+			if h != nil {
+				h(e)
+			}
 		}
 	}
 }
@@ -147,7 +201,9 @@ func (t *TCP) readLoop(c net.Conn) {
 // Send implements Transport: lazy connection with a few retries, then give
 // up silently (an unreachable peer is indistinguishable from a crashed one,
 // and that is exactly what the protocols tolerate). The envelope is encoded
-// into the connection's buffer; the flush loop owns the socket writes.
+// into the connection's pending buffer; the flush loop owns the socket
+// writes. A connection with a sticky error is evicted and redialed here, so
+// one broken socket never eats sends forever.
 func (t *TCP) Send(e Envelope) error {
 	t.mu.Lock()
 	if t.closed {
@@ -157,54 +213,87 @@ func (t *TCP) Send(e Envelope) error {
 	conn := t.conns[e.To]
 	t.mu.Unlock()
 
-	if conn == nil {
-		c, err := t.dial(e.To)
-		if err != nil {
-			return nil // peer down: silence, not an error
+	// At most one eviction + redial per Send: a conn found dead (sticky
+	// encode/flush error, or shut by a concurrent Close of the peer) is
+	// forgotten so this send — not some later one — dials afresh.
+	for attempt := 0; attempt < 2; attempt++ {
+		if conn == nil {
+			c, err := t.dial(e.To)
+			if err != nil {
+				return nil // peer down: silence, not an error
+			}
+			conn = c
 		}
-		conn = c
-	}
-	conn.mu.Lock()
-	if conn.err == nil {
-		conn.err = conn.enc.Encode(&e)
-	}
-	err := conn.err
-	if err == nil && !conn.shutdown {
+		conn.mu.Lock()
+		if conn.err != nil || conn.shutdown {
+			conn.mu.Unlock()
+			t.forget(e.To, conn)
+			conn = nil
+			continue
+		}
+		var err error
+		conn.pending, conn.scratch, err = appendEnvelope(conn.pending, &e, conn.scratch)
+		if err != nil {
+			// Not a network failure: the message type cannot go on the
+			// wire (unregistered / not core.Wire). Surface the bug.
+			conn.mu.Unlock()
+			return err
+		}
 		select {
 		case conn.kick <- struct{}{}:
 		default: // a flush is already pending; it will carry this envelope
 		}
-	}
-	conn.mu.Unlock()
-	if err != nil {
-		// Connection broke: forget it so a future send redials.
-		t.forget(e.To, conn)
+		conn.mu.Unlock()
+		return nil
 	}
 	return nil
 }
 
-// flushLoop drains the connection's buffer to the socket, one syscall per
-// batch of sends, until the connection shuts or a write fails.
+// flushLoop drains the connection's pending buffer to the socket as one
+// length-prefixed frame per iteration — one writev per batch of sends —
+// until the connection shuts or a write fails. Two buffers rotate between
+// the senders and the flusher, so encoding never waits on the network.
 func (t *TCP) flushLoop(to core.ProcessID, conn *tcpConn) {
 	defer t.wg.Done()
-	for range conn.kick {
+	var spare []byte
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = frameVersion
+	flush := func() error {
 		conn.mu.Lock()
-		if conn.err == nil {
-			conn.err = conn.bw.Flush()
+		if conn.err != nil {
+			err := conn.err
+			conn.mu.Unlock()
+			return err
 		}
-		err := conn.err
+		if len(conn.pending) == 0 {
+			conn.mu.Unlock()
+			return nil
+		}
+		frame := conn.pending
+		conn.pending = spare[:0]
 		conn.mu.Unlock()
+
+		n := 1 + binary.PutUvarint(hdr[1:], uint64(len(frame)))
+		bufs := net.Buffers{hdr[:n], frame}
+		_, err := bufs.WriteTo(conn.c)
+		spare = frame[:0] // recycle for the next swap
 		if err != nil {
+			conn.mu.Lock()
+			if conn.err == nil {
+				conn.err = err
+			}
+			conn.mu.Unlock()
+		}
+		return err
+	}
+	for range conn.kick {
+		if flush() != nil {
 			t.forget(to, conn)
 			return
 		}
 	}
-	// kick closed: best-effort final flush of whatever was buffered.
-	conn.mu.Lock()
-	if conn.err == nil {
-		conn.err = conn.bw.Flush()
-	}
-	conn.mu.Unlock()
+	// kick closed: best-effort final frame for whatever was buffered.
+	flush()
 }
 
 // forget drops a dead connection so the next Send redials.
@@ -234,15 +323,14 @@ func (t *TCP) dial(to core.ProcessID) (*tcpConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	bw := bufio.NewWriterSize(c, sendBufferSize)
-	conn := &tcpConn{c: c, bw: bw, enc: gob.NewEncoder(bw), kick: make(chan struct{}, 1)}
+	conn := &tcpConn{c: c, kick: make(chan struct{}, 1)}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
 		c.Close()
 		return nil, ErrClosed
 	}
-	if existing, ok := t.conns[to]; ok {
+	if existing, ok := t.conns[to]; ok && !existing.dead() {
 		c.Close()
 		return existing, nil
 	}

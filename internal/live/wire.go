@@ -1,0 +1,154 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
+)
+
+// The wire type-ID registry. Every message type that crosses a transport
+// implements core.Wire and is registered once (the public commit package
+// registers the whole protocol family at init). The ID is the only type
+// information on the wire, so IDs are allocated in per-package blocks and
+// never renumbered:
+//
+//	 1       commit (beginMsg)
+//	 8..14   internal/consensus (incl. flooding)
+//	16..20   protocols/inbac
+//	24..26   protocols/twopc
+//	28..32   protocols/threepc
+//	36..42   protocols/paxoscommit
+//	46..47   protocols/onenbac
+//	50..51   protocols/avnbac
+//	54..56   protocols/zeronbac
+//	60       protocols/chainnbac
+//	62..65   protocols/anbac
+//	68..69   protocols/hubnbac
+//	72..76   protocols/fullnbac
+//	>= 240   reserved for tests
+//
+// Versioning: adding a message type takes a fresh ID; removing one retires
+// its ID forever; changing a type's fields is a wire break and needs a new
+// ID (the old one stays registered during a rolling upgrade). A decoder
+// that meets an unknown ID skips that envelope — the payload is
+// length-prefixed exactly so mixed-version peers degrade to silence (which
+// the protocols already tolerate as a crash) instead of poisoning the
+// stream.
+var (
+	wireMu   sync.RWMutex
+	wireByID = make(map[uint16]core.Wire)
+)
+
+// RegisterWire records a message prototype under its WireID so incoming
+// envelopes can be decoded. It replaces the gob-era RegisterMessage. It
+// panics on an ID collision between distinct types — a mis-allocated ID
+// block is a programming error that must not survive init.
+func RegisterWire(m core.Wire) {
+	wireMu.Lock()
+	defer wireMu.Unlock()
+	id := m.WireID()
+	if prev, ok := wireByID[id]; ok {
+		if fmt.Sprintf("%T", prev) != fmt.Sprintf("%T", m) {
+			panic(fmt.Sprintf("live: wire ID %d claimed by both %T and %T", id, prev, m))
+		}
+		return
+	}
+	wireByID[id] = m
+}
+
+// RegisteredWires returns a snapshot of every registered message prototype,
+// ordered by ID — the codec tests round-trip all of them.
+func RegisteredWires() []core.Wire {
+	wireMu.RLock()
+	defer wireMu.RUnlock()
+	all := make([]core.Wire, 0, len(wireByID))
+	for _, m := range wireByID {
+		all = append(all, m)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].WireID() < all[j].WireID() })
+	return all
+}
+
+func wireLookup(id uint16) (core.Wire, bool) {
+	wireMu.RLock()
+	m, ok := wireByID[id]
+	wireMu.RUnlock()
+	return m, ok
+}
+
+// errUnknownWireID marks an envelope whose type ID is not registered. The
+// envelope's bytes were fully consumed, so the caller may skip it and keep
+// decoding the frame (mixed-version peer) — every other decode error means
+// the stream is corrupt.
+var errUnknownWireID = errors.New("live: unknown wire type ID")
+
+// Envelope wire layout (field order is the struct's):
+//
+//	uvarint  message type ID
+//	string   TxID
+//	uvarint  From
+//	uvarint  To
+//	string   Path
+//	bytes    message payload (length-prefixed MarshalWire output)
+//
+// appendEnvelope appends e to b. scratch is a caller-owned buffer reused
+// for the payload (its extended form is returned for the next call); with
+// warm buffers the append allocates nothing.
+func appendEnvelope(b []byte, e *Envelope, scratch []byte) (out, scr []byte, err error) {
+	w, ok := e.Msg.(core.Wire)
+	if !ok {
+		return b, scratch, fmt.Errorf("live: message %T does not implement core.Wire", e.Msg)
+	}
+	scratch = w.MarshalWire(scratch[:0])
+	b = wire.AppendUvarint(b, uint64(w.WireID()))
+	b = wire.AppendString(b, e.TxID)
+	b = wire.AppendUvarint(b, uint64(e.From))
+	b = wire.AppendUvarint(b, uint64(e.To))
+	b = wire.AppendString(b, e.Path)
+	b = wire.AppendBytes(b, scratch)
+	return b, scratch, nil
+}
+
+// decodeEnvelope decodes one envelope from d. On errUnknownWireID the
+// decoder is positioned at the next envelope and the caller may continue.
+func decodeEnvelope(d *wire.Decoder) (Envelope, error) {
+	id := d.Uvarint()
+	e := Envelope{TxID: d.String()}
+	e.From = core.ProcessID(d.Uvarint())
+	e.To = core.ProcessID(d.Uvarint())
+	e.Path = d.String()
+	payload := d.View()
+	if err := d.Err(); err != nil {
+		return Envelope{}, err
+	}
+	if id > 1<<16-1 {
+		return Envelope{}, wire.ErrCorrupt
+	}
+	proto, ok := wireLookup(uint16(id))
+	if !ok {
+		return Envelope{}, fmt.Errorf("%w %d", errUnknownWireID, id)
+	}
+	var pd wire.Decoder
+	pd.Reset(payload)
+	m, err := proto.UnmarshalWire(&pd)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("live: decode %T: %w", proto, err)
+	}
+	e.Msg = m
+	return e, nil
+}
+
+// EncodedSize reports how many bytes e occupies inside a frame — the
+// envelope's full wire footprint (header fields plus length-prefixed
+// payload). Benchmarks use it to report bytes/envelope.
+func EncodedSize(e Envelope) (int, error) {
+	b, _, err := appendEnvelope(nil, &e, nil)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}

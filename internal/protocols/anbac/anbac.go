@@ -16,6 +16,7 @@ package anbac
 
 import (
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // Message types.
@@ -38,6 +39,39 @@ func (m MsgAck) Kind() string {
 		return "ACKB"
 	}
 	return "ACKV"
+}
+
+// Wire IDs (anbac block 62..65; see internal/live's registry).
+const (
+	wireIDVal uint16 = 62 + iota
+	wireIDV0
+	wireIDB0
+	wireIDAck
+)
+
+func (MsgVal) WireID() uint16 { return wireIDVal }
+func (MsgV0) WireID() uint16  { return wireIDV0 }
+func (MsgB0) WireID() uint16  { return wireIDB0 }
+func (MsgAck) WireID() uint16 { return wireIDAck }
+
+func (m MsgVal) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgVal) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgVal{V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (MsgV0) MarshalWire(b []byte) []byte { return b }
+func (MsgV0) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgV0{}, d.Err()
+}
+
+func (MsgB0) MarshalWire(b []byte) []byte { return b }
+func (MsgB0) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgB0{}, d.Err()
+}
+
+func (m MsgAck) MarshalWire(b []byte) []byte { return wire.AppendBool(b, m.B) }
+func (MsgAck) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgAck{B: d.Bool()}, d.Err()
 }
 
 // Timer tags.

@@ -18,6 +18,7 @@ package avnbac
 
 import (
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // Message types.
@@ -30,6 +31,25 @@ type (
 
 func (MsgV) Kind() string { return "V" }
 func (MsgB) Kind() string { return "B" }
+
+// Wire IDs (avnbac block 50..51; see internal/live's registry).
+const (
+	wireIDV uint16 = 50 + iota
+	wireIDB
+)
+
+func (MsgV) WireID() uint16 { return wireIDV }
+func (MsgB) WireID() uint16 { return wireIDB }
+
+func (m MsgV) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgV) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgV{V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (m MsgB) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgB) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgB{V: core.Value(d.Uvarint())}, d.Err()
+}
 
 // NewDelayOptimal returns the 1-delay variant (section 4.1).
 func NewDelayOptimal() func(core.ProcessID) core.Module {

@@ -20,6 +20,7 @@ package chainnbac
 
 import (
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // MsgVal carries the AND of the votes collected so far along the chain (and
@@ -28,6 +29,17 @@ type MsgVal struct{ V core.Value }
 
 // Kind implements core.Message.
 func (MsgVal) Kind() string { return "VAL" }
+
+// WireID implements core.Wire (chainnbac block 60).
+func (MsgVal) WireID() uint16 { return 60 }
+
+// MarshalWire implements core.Wire.
+func (m MsgVal) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+
+// UnmarshalWire implements core.Wire.
+func (MsgVal) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgVal{V: core.Value(d.Uvarint())}, d.Err()
+}
 
 // Timer tags are the protocol phases.
 const (

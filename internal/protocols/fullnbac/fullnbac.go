@@ -17,6 +17,7 @@ package fullnbac
 import (
 	"atomiccommit/internal/consensus"
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // Message types.
@@ -38,6 +39,46 @@ func (MsgB) Kind() string      { return "B" }
 func (MsgZ) Kind() string      { return "Z" }
 func (MsgHelp) Kind() string   { return "HELP" }
 func (MsgHelped) Kind() string { return "HELPED" }
+
+// Wire IDs (fullnbac block 72..76; see internal/live's registry).
+const (
+	wireIDV uint16 = 72 + iota
+	wireIDB
+	wireIDZ
+	wireIDHelp
+	wireIDHelped
+)
+
+func (MsgV) WireID() uint16      { return wireIDV }
+func (MsgB) WireID() uint16      { return wireIDB }
+func (MsgZ) WireID() uint16      { return wireIDZ }
+func (MsgHelp) WireID() uint16   { return wireIDHelp }
+func (MsgHelped) WireID() uint16 { return wireIDHelped }
+
+func (m MsgV) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgV) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgV{V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (m MsgB) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgB) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgB{V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (m MsgZ) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgZ) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgZ{V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (MsgHelp) MarshalWire(b []byte) []byte { return b }
+func (MsgHelp) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgHelp{}, d.Err()
+}
+
+func (m MsgHelped) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgHelped) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgHelped{V: core.Value(d.Uvarint())}, d.Err()
+}
 
 // Timer tags are the protocol phases.
 const (

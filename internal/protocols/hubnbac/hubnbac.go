@@ -15,6 +15,7 @@ package hubnbac
 
 import (
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // Message types.
@@ -27,6 +28,25 @@ type (
 
 func (MsgV) Kind() string { return "V" }
 func (MsgB) Kind() string { return "B" }
+
+// Wire IDs (hubnbac block 68..69; see internal/live's registry).
+const (
+	wireIDV uint16 = 68 + iota
+	wireIDB
+)
+
+func (MsgV) WireID() uint16 { return wireIDV }
+func (MsgB) WireID() uint16 { return wireIDB }
+
+func (m MsgV) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgV) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgV{V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (m MsgB) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgB) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgB{V: core.Value(d.Uvarint())}, d.Err()
+}
 
 // Timer tags.
 const (

@@ -31,6 +31,7 @@ package inbac
 import (
 	"atomiccommit/internal/consensus"
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // VotePair is one (process, vote) entry of a backed-up collection.
@@ -58,6 +59,76 @@ func (MsgC) Kind() string      { return "C" }
 func (MsgHelp) Kind() string   { return "HELP" }
 func (MsgHelped) Kind() string { return "HELPED" }
 func (MsgA) Kind() string      { return "A" }
+
+// Wire IDs (inbac block 16..20; see internal/live's registry).
+const (
+	wireIDV uint16 = 16 + iota
+	wireIDC
+	wireIDHelp
+	wireIDHelped
+	wireIDA
+)
+
+func (MsgV) WireID() uint16      { return wireIDV }
+func (MsgC) WireID() uint16      { return wireIDC }
+func (MsgHelp) WireID() uint16   { return wireIDHelp }
+func (MsgHelped) WireID() uint16 { return wireIDHelped }
+func (MsgA) WireID() uint16      { return wireIDA }
+
+func (m MsgV) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgV) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgV{V: core.Value(d.Uvarint())}, d.Err()
+}
+
+// appendPairs/decodePairs encode a collection as a count-prefixed sequence
+// of (process, vote) uvarint pairs — the format MsgC and MsgHelped share.
+func appendPairs(b []byte, pairs []VotePair) []byte {
+	b = wire.AppendUvarint(b, uint64(len(pairs)))
+	for _, p := range pairs {
+		b = wire.AppendUvarint(b, uint64(p.P))
+		b = wire.AppendUvarint(b, uint64(p.V))
+	}
+	return b
+}
+
+func decodePairs(d *wire.Decoder) []VotePair {
+	n := int(d.Uvarint())
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	// Cap the pre-size by the remaining bytes (a pair is >= 2 of them), so a
+	// corrupt count cannot force a huge allocation; the reads below surface
+	// ErrTruncated when the count lies.
+	capHint := n
+	if r := d.Remaining(); capHint > r {
+		capHint = r
+	}
+	pairs := make([]VotePair, 0, capHint)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		pairs = append(pairs, VotePair{P: core.ProcessID(d.Uvarint()), V: core.Value(d.Uvarint())})
+	}
+	return pairs
+}
+
+func (m MsgC) MarshalWire(b []byte) []byte { return appendPairs(b, m.Pairs) }
+func (MsgC) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgC{Pairs: decodePairs(d)}, d.Err()
+}
+
+func (MsgHelp) MarshalWire(b []byte) []byte { return b }
+func (MsgHelp) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgHelp{}, d.Err()
+}
+
+func (m MsgHelped) MarshalWire(b []byte) []byte { return appendPairs(b, m.Pairs) }
+func (MsgHelped) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgHelped{Pairs: decodePairs(d)}, d.Err()
+}
+
+func (MsgA) MarshalWire(b []byte) []byte { return b }
+func (MsgA) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgA{}, d.Err()
+}
 
 // Timer tags.
 const (

@@ -18,6 +18,7 @@ package onenbac
 import (
 	"atomiccommit/internal/consensus"
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // Message types.
@@ -31,6 +32,25 @@ type (
 
 func (MsgV) Kind() string { return "V" }
 func (MsgD) Kind() string { return "D" }
+
+// Wire IDs (onenbac block 46..47; see internal/live's registry).
+const (
+	wireIDV uint16 = 46 + iota
+	wireIDD
+)
+
+func (MsgV) WireID() uint16 { return wireIDV }
+func (MsgD) WireID() uint16 { return wireIDD }
+
+func (m MsgV) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgV) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgV{V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (m MsgD) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgD) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgD{V: core.Value(d.Uvarint())}, d.Err()
+}
 
 // Timer tags.
 const (

@@ -32,6 +32,7 @@ package paxoscommit
 
 import (
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // Mode selects the variant.
@@ -83,6 +84,87 @@ func (MsgPrepareI) Kind() string  { return "p1a" }
 func (MsgPromiseI) Kind() string  { return "p1b" }
 func (MsgAcceptI) Kind() string   { return "p2a" }
 func (MsgAcceptedI) Kind() string { return "p2b" }
+
+// Wire IDs (paxoscommit block 36..42; see internal/live's registry).
+const (
+	wireIDVote2a uint16 = 36 + iota
+	wireIDBundle
+	wireIDOutcome
+	wireIDPrepareI
+	wireIDPromiseI
+	wireIDAcceptI
+	wireIDAcceptedI
+)
+
+func (MsgVote2a) WireID() uint16    { return wireIDVote2a }
+func (MsgBundle) WireID() uint16    { return wireIDBundle }
+func (MsgOutcome) WireID() uint16   { return wireIDOutcome }
+func (MsgPrepareI) WireID() uint16  { return wireIDPrepareI }
+func (MsgPromiseI) WireID() uint16  { return wireIDPromiseI }
+func (MsgAcceptI) WireID() uint16   { return wireIDAcceptI }
+func (MsgAcceptedI) WireID() uint16 { return wireIDAcceptedI }
+
+// Instance numbers are uvarints; ballots are zigzag varints (-1 = "none").
+
+func (m MsgVote2a) MarshalWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(m.Inst))
+	return wire.AppendUvarint(b, uint64(m.V))
+}
+
+func (MsgVote2a) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgVote2a{Inst: int(d.Uvarint()), V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (m MsgBundle) MarshalWire(b []byte) []byte { return wire.AppendBytes(b, m.Views) }
+func (MsgBundle) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgBundle{Views: d.Bytes()}, d.Err()
+}
+
+func (m MsgOutcome) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgOutcome) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgOutcome{V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (m MsgPrepareI) MarshalWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(m.Inst))
+	return wire.AppendInt(b, m.B)
+}
+
+func (MsgPrepareI) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgPrepareI{Inst: int(d.Uvarint()), B: d.Int()}, d.Err()
+}
+
+func (m MsgPromiseI) MarshalWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(m.Inst))
+	b = wire.AppendInt(b, m.B)
+	b = wire.AppendInt(b, m.AccB)
+	return wire.AppendUvarint(b, uint64(m.AccV))
+}
+
+func (MsgPromiseI) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	m := MsgPromiseI{Inst: int(d.Uvarint()), B: d.Int(), AccB: d.Int(), AccV: core.Value(d.Uvarint())}
+	return m, d.Err()
+}
+
+func (m MsgAcceptI) MarshalWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(m.Inst))
+	b = wire.AppendInt(b, m.B)
+	return wire.AppendUvarint(b, uint64(m.V))
+}
+
+func (MsgAcceptI) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgAcceptI{Inst: int(d.Uvarint()), B: d.Int(), V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (m MsgAcceptedI) MarshalWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(m.Inst))
+	b = wire.AppendInt(b, m.B)
+	return wire.AppendUvarint(b, uint64(m.V))
+}
+
+func (MsgAcceptedI) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgAcceptedI{Inst: int(d.Uvarint()), B: d.Int(), V: core.Value(d.Uvarint())}, d.Err()
+}
 
 // Timer tags.
 const (

@@ -21,6 +21,7 @@ package threepc
 
 import (
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // Message types.
@@ -47,6 +48,50 @@ func (MsgPrecommit) Kind() string { return "PRE" }
 func (MsgAck) Kind() string       { return "ACK" }
 func (MsgOutcome) Kind() string   { return "OUTCOME" }
 func (MsgState) Kind() string     { return "STATE" }
+
+// Wire IDs (threepc block 28..32; see internal/live's registry).
+const (
+	wireIDVote uint16 = 28 + iota
+	wireIDPrecommit
+	wireIDAck
+	wireIDOutcome
+	wireIDState
+)
+
+func (MsgVote) WireID() uint16      { return wireIDVote }
+func (MsgPrecommit) WireID() uint16 { return wireIDPrecommit }
+func (MsgAck) WireID() uint16       { return wireIDAck }
+func (MsgOutcome) WireID() uint16   { return wireIDOutcome }
+func (MsgState) WireID() uint16     { return wireIDState }
+
+func (m MsgVote) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgVote) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgVote{V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (MsgPrecommit) MarshalWire(b []byte) []byte { return b }
+func (MsgPrecommit) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgPrecommit{}, d.Err()
+}
+
+func (MsgAck) MarshalWire(b []byte) []byte { return b }
+func (MsgAck) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgAck{}, d.Err()
+}
+
+func (m MsgOutcome) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgOutcome) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgOutcome{V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (m MsgState) MarshalWire(b []byte) []byte {
+	b = wire.AppendInt(b, m.Round)
+	return wire.AppendBool(b, m.Precommitted)
+}
+
+func (MsgState) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgState{Round: d.Int(), Precommitted: d.Bool()}, d.Err()
+}
 
 // Timer tags. Election rounds use tag = j for the round start and
 // tag = resolveBase + j for the elected coordinator's resolution tick.

@@ -15,6 +15,7 @@ package twopc
 
 import (
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // Message types.
@@ -30,6 +31,32 @@ type (
 func (MsgReq) Kind() string     { return "REQ" }
 func (MsgVote) Kind() string    { return "VOTE" }
 func (MsgOutcome) Kind() string { return "OUTCOME" }
+
+// Wire IDs (twopc block 24..26; see internal/live's registry).
+const (
+	wireIDReq uint16 = 24 + iota
+	wireIDVote
+	wireIDOutcome
+)
+
+func (MsgReq) WireID() uint16     { return wireIDReq }
+func (MsgVote) WireID() uint16    { return wireIDVote }
+func (MsgOutcome) WireID() uint16 { return wireIDOutcome }
+
+func (MsgReq) MarshalWire(b []byte) []byte { return b }
+func (MsgReq) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgReq{}, d.Err()
+}
+
+func (m MsgVote) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgVote) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgVote{V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func (m MsgOutcome) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+func (MsgOutcome) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgOutcome{V: core.Value(d.Uvarint())}, d.Err()
+}
 
 // Coordinator is the distinguished process (the paper's single point of
 // failure); P1 throughout this repository.

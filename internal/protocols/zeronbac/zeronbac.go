@@ -14,6 +14,7 @@ package zeronbac
 import (
 	"atomiccommit/internal/consensus"
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/wire"
 )
 
 // Message types.
@@ -29,6 +30,32 @@ type (
 func (MsgV) Kind() string   { return "V0" }
 func (MsgB) Kind() string   { return "B0" }
 func (MsgAck) Kind() string { return "ACK" }
+
+// Wire IDs (zeronbac block 54..56; see internal/live's registry).
+const (
+	wireIDV uint16 = 54 + iota
+	wireIDB
+	wireIDAck
+)
+
+func (MsgV) WireID() uint16   { return wireIDV }
+func (MsgB) WireID() uint16   { return wireIDB }
+func (MsgAck) WireID() uint16 { return wireIDAck }
+
+func (MsgV) MarshalWire(b []byte) []byte { return b }
+func (MsgV) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgV{}, d.Err()
+}
+
+func (MsgB) MarshalWire(b []byte) []byte { return b }
+func (MsgB) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgB{}, d.Err()
+}
+
+func (MsgAck) MarshalWire(b []byte) []byte { return b }
+func (MsgAck) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return MsgAck{}, d.Err()
+}
 
 // Timer tags.
 const (

@@ -1,0 +1,186 @@
+// Package wire is the hand-rolled binary codec underneath the live
+// runtime's message path: append-style encoding helpers and a bounds-checked
+// decoder, with varint integers (zigzag for signed) and length-prefixed
+// strings and byte slices.
+//
+// The codec replaces encoding/gob on the wire. gob pays reflection and fresh
+// allocations on every envelope; this package is written so the steady-state
+// send path allocates nothing: every Append* helper grows a caller-owned
+// buffer, and the Decoder reads from a caller-owned buffer without copying
+// except where a decoded value must outlive it (String, Bytes).
+//
+// Encoding conventions, used by every message type in this repository:
+//
+//   - unsigned integers, process IDs, votes: Uvarint
+//   - signed integers (ballots can be -1): zigzag Varint
+//   - strings and byte slices: Uvarint length prefix + raw bytes
+//   - repeated fields: Uvarint count + elements
+//
+// Decoding errors are sticky: after the first ErrTruncated/ErrCorrupt every
+// further read returns the zero value and Err() reports the failure, so
+// message decoders can parse field-by-field and check once at the end.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrTruncated reports a read past the end of the buffer.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// ErrCorrupt reports a structurally invalid encoding (overlong varint, a
+// length prefix larger than the remaining input).
+var ErrCorrupt = errors.New("wire: corrupt input")
+
+// AppendUvarint appends v as an unsigned varint.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendVarint appends v as a zigzag-encoded varint (efficient for small
+// magnitudes of either sign; ballots use -1 as "none").
+func AppendVarint(b []byte, v int64) []byte {
+	return binary.AppendUvarint(b, uint64(v<<1)^uint64(v>>63))
+}
+
+// AppendInt appends an int as a zigzag varint.
+func AppendInt(b []byte, v int) []byte { return AppendVarint(b, int64(v)) }
+
+// AppendBool appends a bool as one byte.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendBytes appends a length-prefixed byte slice.
+func AppendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// Decoder reads the encodings above from a byte slice. The zero value is
+// empty; Reset arms it. Errors are sticky (see package comment).
+type Decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+// Reset points the decoder at b and clears any error.
+func (d *Decoder) Reset(b []byte) { d.b, d.off, d.err = b, 0, nil }
+
+// Err returns the first decoding error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.b) - d.off }
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+	d.off = len(d.b) // stop consuming
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrTruncated)
+		} else {
+			d.fail(ErrCorrupt)
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a zigzag-encoded varint.
+func (d *Decoder) Varint() int64 {
+	u := d.Uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// Int reads a zigzag varint as an int.
+func (d *Decoder) Int() int { return int(d.Varint()) }
+
+// Bool reads one byte as a bool (any nonzero is true).
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail(ErrTruncated)
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	return v != 0
+}
+
+// Len reads a Uvarint length prefix and validates it against the remaining
+// input, so repeated-field decoders can pre-size allocations safely even on
+// corrupt input.
+func (d *Decoder) Len() int {
+	v := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(d.Remaining()) {
+		d.fail(ErrCorrupt)
+		return 0
+	}
+	return int(v)
+}
+
+// String reads a length-prefixed string (a copy; it outlives the buffer).
+func (d *Decoder) String() string {
+	n := d.Len()
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// Bytes reads a length-prefixed byte slice as a copy, safe to retain after
+// the underlying buffer is reused. A zero length yields nil.
+func (d *Decoder) Bytes() []byte {
+	n := d.Len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, d.b[d.off:d.off+n])
+	d.off += n
+	return p
+}
+
+// View reads a length-prefixed byte slice WITHOUT copying: the result
+// aliases the decoder's buffer and is valid only while that buffer is. The
+// envelope decoder uses it for message payloads it parses immediately.
+// A zero length yields nil.
+func (d *Decoder) View() []byte {
+	n := d.Len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	p := d.b[d.off : d.off+n : d.off+n]
+	d.off += n
+	return p
+}

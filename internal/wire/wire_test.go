@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 300, 1 << 20, math.MaxUint64} {
+		var d Decoder
+		d.Reset(AppendUvarint(nil, v))
+		if got := d.Uvarint(); got != v || d.Err() != nil {
+			t.Fatalf("uvarint %d: got %d err %v", v, got, d.Err())
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("uvarint %d: %d bytes left over", v, d.Remaining())
+		}
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, math.MinInt64, math.MaxInt64} {
+		var d Decoder
+		d.Reset(AppendVarint(nil, v))
+		if got := d.Varint(); got != v || d.Err() != nil {
+			t.Fatalf("varint %d: got %d err %v", v, got, d.Err())
+		}
+	}
+}
+
+func TestStringBytesBoolRoundTrip(t *testing.T) {
+	b := AppendString(nil, "tx-42")
+	b = AppendString(b, "")
+	b = AppendBytes(b, []byte{0, 255, 7})
+	b = AppendBytes(b, nil)
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+	var d Decoder
+	d.Reset(b)
+	if s := d.String(); s != "tx-42" {
+		t.Fatalf("string: %q", s)
+	}
+	if s := d.String(); s != "" {
+		t.Fatalf("empty string: %q", s)
+	}
+	if p := d.Bytes(); !bytes.Equal(p, []byte{0, 255, 7}) {
+		t.Fatalf("bytes: %v", p)
+	}
+	if p := d.Bytes(); p != nil {
+		t.Fatalf("nil bytes decoded as %v", p)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bools did not round-trip")
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestBytesAreCopies(t *testing.T) {
+	src := AppendBytes(nil, []byte{1, 2, 3})
+	var d Decoder
+	d.Reset(src)
+	p := d.Bytes()
+	src[1] = 99 // clobber the buffer; the decoded copy must not see it
+	if !bytes.Equal(p, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes aliased the buffer: %v", p)
+	}
+}
+
+func TestTruncationIsStickyAndSafe(t *testing.T) {
+	b := AppendString(nil, "hello")
+	var d Decoder
+	d.Reset(b[:3]) // length prefix says 5, only 2 payload bytes remain
+	if s := d.String(); s != "" {
+		t.Fatalf("truncated string decoded as %q", s)
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) && !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("want truncation/corruption error, got %v", d.Err())
+	}
+	// Every further read returns zero values without advancing or panicking.
+	if v := d.Uvarint(); v != 0 {
+		t.Fatalf("read after error: %d", v)
+	}
+	if p := d.Bytes(); p != nil {
+		t.Fatalf("read after error: %v", p)
+	}
+}
+
+func TestLenRejectsLyingPrefix(t *testing.T) {
+	// A length prefix far beyond the buffer must fail, not allocate.
+	var d Decoder
+	d.Reset(AppendUvarint(nil, 1<<40))
+	if n := d.Len(); n != 0 || !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("Len=%d err=%v, want 0/ErrCorrupt", n, d.Err())
+	}
+}
+
+// FuzzDecoder feeds arbitrary bytes through every read: whatever the input,
+// the decoder must fail cleanly (sticky error, zero values), never panic.
+func FuzzDecoder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80})                      // unterminated varint
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})    // overlong
+	f.Add(AppendString(nil, "seed"))         // valid string
+	f.Add(AppendBytes([]byte{1}, []byte{2})) // length prefix mid-stream
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var d Decoder
+		d.Reset(raw)
+		for d.Remaining() > 0 && d.Err() == nil {
+			d.Uvarint()
+			d.Varint()
+			_ = d.String()
+			d.Bytes()
+			d.View()
+			d.Bool()
+		}
+	})
+}
+
+// FuzzPrimitivesRoundTrip checks encode→decode identity on arbitrary values.
+func FuzzPrimitivesRoundTrip(f *testing.F) {
+	f.Add(uint64(0), int64(0), "", []byte(nil), false)
+	f.Add(uint64(1<<63), int64(-1), "tx", []byte{1, 2, 3}, true)
+	f.Fuzz(func(t *testing.T, u uint64, i int64, s string, p []byte, v bool) {
+		b := AppendUvarint(nil, u)
+		b = AppendVarint(b, i)
+		b = AppendString(b, s)
+		b = AppendBytes(b, p)
+		b = AppendBool(b, v)
+		var d Decoder
+		d.Reset(b)
+		if got := d.Uvarint(); got != u {
+			t.Fatalf("uvarint %d != %d", got, u)
+		}
+		if got := d.Varint(); got != i {
+			t.Fatalf("varint %d != %d", got, i)
+		}
+		if got := d.String(); got != s {
+			t.Fatalf("string %q != %q", got, s)
+		}
+		if got := d.Bytes(); !bytes.Equal(got, p) {
+			t.Fatalf("bytes %v != %v", got, p)
+		}
+		if got := d.Bool(); got != v {
+			t.Fatalf("bool %v != %v", got, v)
+		}
+		if d.Err() != nil || d.Remaining() != 0 {
+			t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+		}
+	})
+}
