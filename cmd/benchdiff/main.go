@@ -3,16 +3,19 @@
 //
 //	benchdiff -old BENCH_throughput_tcp.json -new /tmp/BENCH_ci.json
 //
-// It exits 0 on any comparison; with -max-regress set (a fraction, e.g.
-// 0.5 = new throughput may not drop below half of old), it exits 1 if any
-// cell regresses beyond the bound — loose enough for noisy CI machines,
-// tight enough to catch a codec or transport catastrophe.
+// A cell present in only one snapshot is a reported difference and exits 1
+// (a silently shrinking benchmark matrix is how regressions hide);
+// -allow-missing downgrades that to a report. With -max-regress set (a
+// fraction, e.g. 0.5 = new throughput may not drop below half of old), it
+// also exits 1 if any cell regresses beyond the bound — loose enough for
+// noisy CI machines, tight enough to catch a codec or transport catastrophe.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"atomiccommit/internal/bench"
@@ -20,9 +23,10 @@ import (
 
 func main() {
 	var (
-		oldPath    = flag.String("old", "", "baseline snapshot (the committed BENCH_*.json)")
-		newPath    = flag.String("new", "", "candidate snapshot to compare")
-		maxRegress = flag.Float64("max-regress", 0, "fail if a cell's txn/s falls below (1-max-regress) x baseline; 0 disables")
+		oldPath      = flag.String("old", "", "baseline snapshot (the committed BENCH_*.json)")
+		newPath      = flag.String("new", "", "candidate snapshot to compare")
+		maxRegress   = flag.Float64("max-regress", 0, "fail if a cell's txn/s falls below (1-max-regress) x baseline; 0 disables")
+		allowMissing = flag.Bool("allow-missing", false, "report cells present in only one snapshot without failing (e.g. when the matrix intentionally changed)")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -53,12 +57,14 @@ func main() {
 	fmt.Printf("%-12s %-5s %6s %12s %12s %8s %12s %12s\n",
 		"protocol", "rt", "depth", "old txn/s", "new txn/s", "delta", "old p99", "new p99")
 	failed := false
+	missing := 0
 	for _, n := range newSnap.Rows {
 		k := key{n.Protocol, n.Runtime, n.Depth}
 		o, ok := base[k]
 		if !ok {
-			fmt.Printf("%-12s %-5s %6d %12s %12.0f %8s %12s %12s  (new cell)\n",
+			fmt.Printf("%-12s %-5s %6d %12s %12.0f %8s %12s %12s  (cell missing from old snapshot)\n",
 				n.Protocol, n.Runtime, n.Depth, "-", n.TxnsPerSec, "-", "-", n.P99.Round(time.Microsecond))
+			missing++
 			continue
 		}
 		delete(base, k)
@@ -75,8 +81,23 @@ func main() {
 			n.Protocol, n.Runtime, n.Depth, o.TxnsPerSec, n.TxnsPerSec, delta*100,
 			o.P99.Round(time.Microsecond), n.P99.Round(time.Microsecond), mark)
 	}
+	left := make([]key, 0, len(base))
 	for k := range base {
+		left = append(left, k)
+	}
+	sort.Slice(left, func(i, j int) bool {
+		a, b := left[i], left[j]
+		if a.proto != b.proto {
+			return a.proto < b.proto
+		}
+		if a.runtime != b.runtime {
+			return a.runtime < b.runtime
+		}
+		return a.depth < b.depth
+	})
+	for _, k := range left {
 		fmt.Printf("%-12s %-5s %6d  (cell missing from new snapshot)\n", k.proto, k.runtime, k.depth)
+		missing++
 	}
 
 	if oldSnap.Send != nil && newSnap.Send != nil {
@@ -85,8 +106,12 @@ func main() {
 			oldSnap.Send.BytesPerEnvelope, newSnap.Send.BytesPerEnvelope,
 			oldSnap.Send.WireBytesPerEnvelope, newSnap.Send.WireBytesPerEnvelope)
 	}
+	if missing > 0 && !*allowMissing {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d cell(s) present in only one snapshot (pass -allow-missing if the matrix intentionally changed)\n", missing)
+		failed = true
+	}
 	if failed {
-		fmt.Fprintln(os.Stderr, "benchdiff: throughput regression beyond bound")
+		fmt.Fprintln(os.Stderr, "benchdiff: snapshots differ beyond bounds")
 		os.Exit(1)
 	}
 }

@@ -30,6 +30,14 @@
 //
 //	commitbench -kv
 //	commitbench -kv -kv-thetas 0,0.9,0.99 -kv-keys 64 -kv-protocols inbac,2pc,paxoscommit,3pc
+//
+// -trace arms the flight recorder for any mode: if a run trips an anomaly
+// (a cross-member agreement violation, a peer decision mismatch), the merged
+// per-member timeline of the offending transaction is printed to stderr and
+// dumped as anomaly-<tx>-<kind>.json/.txt. The known INBAC violation
+// reproduces with:
+//
+//	commitbench -throughput -runtime mesh -txns 512 -timeout 5ms -protocols inbac -trace
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"time"
 
 	"atomiccommit/internal/bench"
+	"atomiccommit/internal/obs"
 )
 
 func main() {
@@ -60,6 +69,8 @@ func main() {
 		runtimeSel = flag.String("runtime", "mesh", "throughput mode: transport under test (mesh | tcp)")
 		jsonOut    = flag.String("json", "", "throughput mode: also write the machine-readable snapshot (BENCH_*.json) to this path")
 		timeout    = flag.Duration("timeout", 5*time.Millisecond, "throughput/kv mode: protocol timeout unit U")
+		trace      = flag.Bool("trace", false, "enable the flight recorder; on an anomaly (e.g. an agreement violation) print the merged per-member timeline to stderr and write dump files")
+		traceDir   = flag.String("trace-dir", ".", "directory for anomaly dump files (anomaly-<tx>-<kind>.json/.txt); requires -trace")
 
 		kvMode    = flag.Bool("kv", false, "kv mode: sharded transactional store — txn/s and induced abort rate vs Zipf contention per protocol")
 		kvF       = flag.Int("kv-f", 1, "kv mode: resilience parameter (1 <= f <= shards-1)")
@@ -73,6 +84,15 @@ func main() {
 		kvReads   = flag.Float64("kv-readfrac", 0.5, "kv mode: fraction of operations that are reads")
 	)
 	flag.Parse()
+
+	if *trace {
+		obs.Default.Enable()
+		obs.SetDumpDir(*traceDir)
+		obs.SetAnomalyHook(func(d obs.Dump) {
+			fmt.Fprintf(os.Stderr, "\n=== anomaly: %s on %s ===\n%s\n%s\n",
+				d.Anomaly.Kind, d.Anomaly.TxID, d.Anomaly.Detail, d.Interleaving())
+		})
+	}
 
 	if *f < 1 || *f > *n-1 {
 		fmt.Fprintf(os.Stderr, "commitbench: need 1 <= f <= n-1 (got n=%d f=%d)\n", *n, *f)
@@ -157,6 +177,7 @@ func main() {
 				send = &st
 			}
 			snap := bench.NewSnapshot(*runtimeSel, rows, send)
+			snap.Metrics = obs.M.Counters("")
 			if err := bench.WriteSnapshot(*jsonOut, snap); err != nil {
 				fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)
 				os.Exit(1)

@@ -3,10 +3,13 @@ package commit
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"atomiccommit/internal/core"
 	"atomiccommit/internal/live"
+	"atomiccommit/internal/obs"
 )
 
 // retiredHistory is how many recently-finished transaction IDs each member
@@ -151,9 +154,11 @@ func (m *member) retire(txID string) {
 // callbacks. Commit runs one synchronously; the pipeline dispatcher runs
 // many concurrently.
 type txnRun struct {
-	c     *Cluster
-	txID  string
-	insts []*live.Instance
+	c      *Cluster
+	txID   string
+	insts  []*live.Instance
+	begun  time.Time
+	allYes bool // every resource voted commit (abort-reason attribution)
 }
 
 // reserveTxID allocates a fresh transaction ID when the caller passed ""
@@ -225,15 +230,19 @@ func (c *Cluster) begin(txID string) (*txnRun, error) {
 	// instance), collecting the votes via Prepare.
 	votes := make([]core.Value, n)
 	insts := make([]*live.Instance, n)
+	allYes := true
 	for i, m := range members {
 		votes[i] = core.Abort
 		if c.resources[i].Prepare(txID) {
 			votes[i] = core.Commit
+		} else {
+			allYes = false
 		}
 		inst := live.NewInstance(live.Config{
 			ID: m.id, N: n, F: c.opts.F, U: c.opts.ticks(), TxID: txID,
-			New:  factory,
-			Send: m.tr.Send,
+			Label: string(c.opts.Protocol),
+			New:   factory,
+			Send:  m.tr.Send,
 		})
 		insts[i] = inst
 		m.mu.Lock()
@@ -254,11 +263,14 @@ func (c *Cluster) begin(txID string) (*txnRun, error) {
 			inst.Deliver(e)
 		}
 	}
-	return &txnRun{c: c, txID: txID, insts: insts}, nil
+	return &txnRun{c: c, txID: txID, insts: insts, begun: time.Now(), allYes: allYes}, nil
 }
 
 // finish gathers every member's decision, applies the resource callbacks,
-// and retires the instances.
+// and retires the instances. Every member is waited for before the
+// cross-member agreement check runs, so a violation dump holds the full
+// decision vector (and every member's decide event is in the flight
+// recorder) rather than stopping at the first mismatching pair.
 func (r *txnRun) finish(ctx context.Context) (bool, error) {
 	defer func() {
 		for i, m := range r.c.members {
@@ -268,21 +280,47 @@ func (r *txnRun) finish(ctx context.Context) (bool, error) {
 		r.c.markFinished(r.txID)
 	}()
 
-	var first core.Value
+	proto := string(r.c.opts.Protocol)
+	vals := make([]core.Value, len(r.insts))
 	for i := range r.c.members {
 		v, err := r.insts[i].Wait(ctx)
 		if err != nil {
+			obs.M.Counter("commit.abort.infra." + proto).Add(1)
 			return false, err
 		}
-		if i == 0 {
-			first = v
-		} else if v != first {
+		vals[i] = v
+	}
+	first := vals[0]
+	for _, v := range vals[1:] {
+		if v != first {
 			// Cannot happen for protocols whose contract includes
 			// agreement in the executions the deployment can produce;
-			// surfacing it beats hiding it.
-			return false, fmt.Errorf("commit: agreement violation on %s: %v vs %v", r.txID, first, v)
+			// surfacing it — with the full interleaving that produced
+			// it — beats hiding it.
+			detail := r.decisionVector(vals)
+			obs.ReportAnomaly("cluster-agreement-violation", r.txID, detail)
+			return false, fmt.Errorf("commit: agreement violation on %s: %s", r.txID, detail)
 		}
 	}
+
+	// Latency by protocol and decide path (the initiating member's path;
+	// "" for protocols that do not annotate one).
+	path := r.insts[0].DecidePath()
+	if path == "" {
+		path = "default"
+	}
+	obs.M.Histogram("commit.latency_ns." + proto + "." + path).Record(int64(time.Since(r.begun)))
+	if first == core.Commit {
+		obs.M.Counter("commit.committed." + proto).Add(1)
+	} else if r.allYes {
+		// All resources voted yes, yet the decision is abort: an indulgent
+		// protocol's legal reaction to a violated timing bound.
+		obs.M.Counter("commit.abort.timing." + proto).Add(1)
+	} else {
+		// At least one "no" vote (e.g. a kv conflict): a normal abort.
+		obs.M.Counter("commit.abort.vote." + proto).Add(1)
+	}
+
 	for i := range r.c.members {
 		if first == core.Commit {
 			r.c.resources[i].Commit(r.txID)
@@ -291,6 +329,24 @@ func (r *txnRun) finish(ctx context.Context) (bool, error) {
 		}
 	}
 	return first == core.Commit, nil
+}
+
+// decisionVector renders every member's decision and decide path, the
+// anomaly detail line of an agreement violation:
+// "P1=commit(fast) P2=abort(consensus) ...".
+func (r *txnRun) decisionVector(vals []core.Value) string {
+	var b strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		path := r.insts[i].DecidePath()
+		if path == "" {
+			path = "?"
+		}
+		fmt.Fprintf(&b, "%s=%s(%s)", r.c.members[i].id, v, path)
+	}
+	return b.String()
 }
 
 // Commit runs one atomic commit instance across all participants: every

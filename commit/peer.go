@@ -3,11 +3,14 @@ package commit
 import (
 	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"time"
 
 	"atomiccommit/internal/core"
 	"atomiccommit/internal/live"
+	"atomiccommit/internal/obs"
 	"atomiccommit/internal/wire"
 )
 
@@ -40,7 +43,34 @@ func (beginMsg) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
 	return beginMsg{}, d.Err()
 }
 
-func init() { live.RegisterWire(beginMsg{}) }
+// decidePath is the reserved envelope path carrying a peer's decision to the
+// others, so every peer can cross-check agreement (a Cluster sees all member
+// decisions in one address space; peers otherwise only know their own).
+const decidePath = "\x00decide"
+
+// decideMsg announces that From decided V for Envelope.TxID.
+type decideMsg struct {
+	V core.Value
+}
+
+// Kind implements core.Message.
+func (decideMsg) Kind() string { return "DECIDE" }
+
+// WireID implements core.Wire (commit block, ID 2).
+func (decideMsg) WireID() uint16 { return 2 }
+
+// MarshalWire implements core.Wire.
+func (m decideMsg) MarshalWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.V)) }
+
+// UnmarshalWire implements core.Wire.
+func (decideMsg) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return decideMsg{V: core.Value(d.Uvarint())}, d.Err()
+}
+
+func init() {
+	live.RegisterWire(beginMsg{})
+	live.RegisterWire(decideMsg{})
+}
 
 // Peer is one participant in its own address space, connected to the others
 // over TCP: the realistic deployment shape. Any peer may initiate a
@@ -60,6 +90,19 @@ type Peer struct {
 	decided   map[string]core.Value // outcomes of retired transactions
 	retired   []string              // FIFO eviction order for decided
 	closed    bool
+
+	// Decision cross-checking (see decideMsg): reports holds peer decisions
+	// that arrived before our own decision landed, FIFO-bounded like decided.
+	reports     map[string][]peerReport
+	reportOrder []string
+
+	debug *http.Server // optional observability endpoint (ServeDebug)
+}
+
+// peerReport is one remote decision awaiting our local one.
+type peerReport struct {
+	from core.ProcessID
+	v    core.Value
 }
 
 // NewPeer starts participant id (1-based); addrs[i-1] is Pi's address, and
@@ -82,6 +125,7 @@ func NewPeer(id int, addrs []string, resource Resource, opts Options) (*Peer, er
 		pending:   make(map[string][]live.Envelope),
 		started:   make(map[string]bool),
 		decided:   make(map[string]core.Value),
+		reports:   make(map[string][]peerReport),
 	}
 	tcp.SetHandler(p.deliver)
 	return p, nil
@@ -91,6 +135,14 @@ func NewPeer(id int, addrs []string, resource Resource, opts Options) (*Peer, er
 func (p *Peer) Addr() string { return p.tcp.Addr() }
 
 func (p *Peer) deliver(e live.Envelope) {
+	if e.Path == decidePath {
+		// Decision announcements are cross-checked even for transactions we
+		// already retired: the cached outcome still answers.
+		if m, ok := e.Msg.(decideMsg); ok {
+			p.observeDecision(e.From, e.TxID, m.V)
+		}
+		return
+	}
 	p.mu.Lock()
 	if _, done := p.decided[e.TxID]; done {
 		// Straggler for a retired transaction: drop it, or it would sit
@@ -167,8 +219,9 @@ func (p *Peer) ensureInstance(txID string) *live.Instance {
 	}
 	inst := live.NewInstance(live.Config{
 		ID: p.id, N: p.n, F: p.opts.F, U: p.opts.ticks(), TxID: txID,
-		New:  p.opts.factory(),
-		Send: p.tcp.Send,
+		Label: string(p.opts.Protocol),
+		New:   p.opts.factory(),
+		Send:  p.tcp.Send,
 	})
 
 	p.mu.Lock()
@@ -187,6 +240,23 @@ func (p *Peer) ensureInstance(txID string) *live.Instance {
 	go func() {
 		<-inst.Done()
 		v := inst.Outcome()
+		// Announce our decision so every peer can cross-check agreement,
+		// and check any remote decisions that arrived before ours landed.
+		p.mu.Lock()
+		stash := p.reports[txID]
+		delete(p.reports, txID)
+		closed := p.closed
+		p.mu.Unlock()
+		for _, r := range stash {
+			p.crossCheck(txID, r.from, r.v, v)
+		}
+		if !closed {
+			for q := 1; q <= p.n; q++ {
+				if core.ProcessID(q) != p.id {
+					_ = p.tcp.Send(live.Envelope{TxID: txID, From: p.id, To: core.ProcessID(q), Path: decidePath, Msg: decideMsg{V: v}})
+				}
+			}
+		}
 		if v == core.Commit {
 			p.res.Commit(txID)
 		} else {
@@ -198,6 +268,72 @@ func (p *Peer) ensureInstance(txID string) *live.Instance {
 		})
 	}()
 	return inst
+}
+
+// observeDecision handles a peer's decision announcement for txID: compare
+// it against ours if we have one (live or cached), else stash it until ours
+// lands. A disagreement is reported through the anomaly hook with the full
+// flight-recorder timeline — the TCP analogue of Cluster.finish's
+// agreement check.
+func (p *Peer) observeDecision(from core.ProcessID, txID string, theirs core.Value) {
+	p.mu.Lock()
+	ours, known := p.decided[txID]
+	if !known {
+		if inst, ok := p.instances[txID]; ok {
+			select {
+			case <-inst.Done():
+				ours, known = inst.Outcome(), true
+			default:
+			}
+		}
+	}
+	if !known {
+		if _, ok := p.reports[txID]; !ok {
+			p.reportOrder = append(p.reportOrder, txID)
+			if len(p.reportOrder) > retiredHistory {
+				delete(p.reports, p.reportOrder[0])
+				p.reportOrder = p.reportOrder[1:]
+			}
+		}
+		p.reports[txID] = append(p.reports[txID], peerReport{from: from, v: theirs})
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	p.crossCheck(txID, from, theirs, ours)
+}
+
+// crossCheck reports a decision disagreement between this peer and from.
+func (p *Peer) crossCheck(txID string, from core.ProcessID, theirs, ours core.Value) {
+	if theirs == ours {
+		return
+	}
+	obs.ReportAnomaly("peer-decision-mismatch", txID,
+		fmt.Sprintf("%v decided %s but %v decided %s", p.id, ours, from, theirs))
+}
+
+// ServeDebug starts the observability HTTP endpoint (expvar under
+// /debug/vars, the metrics registry under /debug/metrics, the flight
+// recorder under /debug/trace, and net/http/pprof under /debug/pprof/) on
+// addr, returning the bound address (useful with ":0"). The server stops
+// when the peer closes.
+func (p *Peer) ServeDebug(addr string) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return "", fmt.Errorf("commit: peer closed")
+	}
+	if p.debug != nil {
+		return "", fmt.Errorf("commit: debug endpoint already serving")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: obs.DebugHandler()}
+	p.debug = srv
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
 }
 
 // Commit initiates transaction txID from this peer and blocks until the
@@ -253,7 +389,11 @@ func (p *Peer) Close() {
 	p.closed = true
 	insts := p.instances
 	p.instances = make(map[string]*live.Instance)
+	debug := p.debug
 	p.mu.Unlock()
+	if debug != nil {
+		debug.Close()
+	}
 	for _, inst := range insts {
 		inst.Close()
 	}

@@ -1,0 +1,198 @@
+package commit
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/obs"
+)
+
+// startPeers boots n loopback peers (see bench.tcpPeers for the address
+// reservation dance) and returns them plus a cleanup.
+func startPeers(t *testing.T, n int, opts Options) []*Peer {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	peers := make([]*Peer, n)
+	for i := 1; i <= n; i++ {
+		p, err := NewPeer(i, addrs, ResourceFunc{}, opts)
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+		peers[i-1] = p
+		t.Cleanup(p.Close)
+	}
+	return peers
+}
+
+// TestPeerDecisionCrossCheck exercises the TCP runtime's decision
+// cross-checking (the Peer analogue of Cluster.finish's agreement check):
+// agreeing peers stay silent, and a diverging decision — injected, since
+// the protocols agree in healthy runs — is reported through the anomaly
+// hook with the transaction's timeline.
+func TestPeerDecisionCrossCheck(t *testing.T) {
+	var mu sync.Mutex
+	var kinds []string
+	obs.SetAnomalyHook(func(d obs.Dump) {
+		mu.Lock()
+		kinds = append(kinds, d.Anomaly.Kind)
+		mu.Unlock()
+	})
+	defer obs.SetAnomalyHook(nil)
+
+	peers := startPeers(t, 3, Options{Protocol: "inbac", F: 1, Timeout: 50 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	ok, err := peers[0].Commit(ctx, "xcheck-1")
+	if err != nil || !ok {
+		t.Fatalf("commit: ok=%v err=%v", ok, err)
+	}
+	for _, p := range peers[1:] {
+		if ok, err := p.Wait(ctx, "xcheck-1"); err != nil || !ok {
+			t.Fatalf("peer wait: ok=%v err=%v", ok, err)
+		}
+	}
+	// Every peer broadcast its decision; give the announcements a moment to
+	// cross the sockets, then check nobody saw a mismatch.
+	time.Sleep(300 * time.Millisecond)
+	mu.Lock()
+	if len(kinds) != 0 {
+		t.Fatalf("agreeing peers reported anomalies: %v", kinds)
+	}
+	mu.Unlock()
+
+	// Inject a diverging announcement: peer 1 claims it decided abort for a
+	// transaction everyone committed. The cross-check must fire.
+	before := obs.M.CounterValue("obs.anomalies.peer-decision-mismatch")
+	peers[0].observeDecision(core.ProcessID(2), "xcheck-1", core.Abort)
+	if got := obs.M.CounterValue("obs.anomalies.peer-decision-mismatch"); got != before+1 {
+		t.Fatalf("mismatch counter = %d, want %d", got, before+1)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(kinds) != 1 || kinds[0] != "peer-decision-mismatch" {
+		t.Fatalf("anomaly kinds = %v, want [peer-decision-mismatch]", kinds)
+	}
+}
+
+// TestPeerStashedDecisionCrossCheck covers the other ordering: the remote
+// decision arrives before the local one lands, is stashed, and is checked
+// when the local decision resolves.
+func TestPeerStashedDecisionCrossCheck(t *testing.T) {
+	var mu sync.Mutex
+	var kinds []string
+	obs.SetAnomalyHook(func(d obs.Dump) {
+		mu.Lock()
+		kinds = append(kinds, d.Anomaly.Kind)
+		mu.Unlock()
+	})
+	defer obs.SetAnomalyHook(nil)
+
+	peers := startPeers(t, 3, Options{Protocol: "inbac", F: 1, Timeout: 50 * time.Millisecond})
+
+	// Stash a bogus abort report for a transaction that has not started
+	// anywhere, then run it to commit: the stash must be drained and the
+	// divergence reported when the local decision lands.
+	peers[0].observeDecision(core.ProcessID(3), "xcheck-stash", core.Abort)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ok, err := peers[0].Commit(ctx, "xcheck-stash")
+	if err != nil || !ok {
+		t.Fatalf("commit: ok=%v err=%v", ok, err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(kinds)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(kinds) == 0 || kinds[0] != "peer-decision-mismatch" {
+		t.Fatalf("anomaly kinds = %v, want peer-decision-mismatch first", kinds)
+	}
+}
+
+// TestPeerServeDebug drives the peer's observability endpoint.
+func TestPeerServeDebug(t *testing.T) {
+	peers := startPeers(t, 2, Options{Protocol: "2pc", Timeout: 50 * time.Millisecond})
+	addr, err := peers[0].ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peers[0].ServeDebug("127.0.0.1:0"); err == nil {
+		t.Error("second ServeDebug should fail")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if ok, err := peers[0].Commit(ctx, "debug-1"); err != nil || !ok {
+		t.Fatalf("commit: ok=%v err=%v", ok, err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var metrics map[string]any
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatalf("metrics json: %v", err)
+	}
+	if v, ok := metrics["live.send.envelopes"].(float64); !ok || v <= 0 {
+		t.Errorf("live.send.envelopes = %v, want > 0", metrics["live.send.envelopes"])
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(b) == 0 {
+		t.Error("pprof cmdline empty")
+	}
+
+	// Close stops the server.
+	peers[0].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := http.Get(fmt.Sprintf("http://%s/debug/metrics", addr)); err != nil {
+			if strings.Contains(err.Error(), "refused") || strings.Contains(err.Error(), "EOF") {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Error("debug endpoint still serving after Close")
+}

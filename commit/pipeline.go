@@ -4,6 +4,16 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"atomiccommit/internal/obs"
+)
+
+// Pipeline depth gauges: how many submissions sit queued behind the window
+// and how many transactions are actively running. Sampled by /debug/metrics
+// and the bench counter deltas.
+var (
+	gQueueDepth = obs.M.Gauge("pipeline.queue_depth")
+	gInFlight   = obs.M.Gauge("pipeline.inflight")
 )
 
 // Txn is the future returned by Submit: a handle to one asynchronously
@@ -101,6 +111,7 @@ func (c *Cluster) Submit(ctx context.Context, txID string) *Txn {
 		go c.dispatch()
 	}
 	c.queue = append(c.queue, t)
+	gQueueDepth.Set(int64(len(c.queue)))
 	c.qcond.Signal()
 	c.mu.Unlock()
 	return t
@@ -140,6 +151,7 @@ func (c *Cluster) dispatch() {
 		if c.closed {
 			queue := c.queue
 			c.queue = nil
+			gQueueDepth.Set(0)
 			for _, t := range queue {
 				delete(c.inflight, t.TxID)
 			}
@@ -152,6 +164,7 @@ func (c *Cluster) dispatch() {
 		}
 		t := c.queue[0]
 		c.queue = c.queue[1:]
+		gQueueDepth.Set(int64(len(c.queue)))
 		c.mu.Unlock()
 
 		select {
@@ -168,7 +181,11 @@ func (c *Cluster) dispatch() {
 			continue
 		}
 		go func(t *Txn) {
-			defer func() { <-window }()
+			gInFlight.Add(1)
+			defer func() {
+				gInFlight.Add(-1)
+				<-window
+			}()
 			t.start = time.Now()
 			r, err := c.begin(t.TxID)
 			if err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"atomiccommit/commit"
+	"atomiccommit/internal/obs"
 	"atomiccommit/kv"
 )
 
@@ -27,6 +28,17 @@ type KVRow struct {
 
 	TxnsPerSec    float64
 	P50, P95, P99 time.Duration
+
+	// Abort attribution from the observability counter deltas around the
+	// point: StaleReads and IntentClashes split Prepare's "no" votes by
+	// cause (a concurrent commit overwrote the read vs a key intent held by
+	// another transaction); TimingAborts counts transactions every shard
+	// voted yes on that the protocol aborted anyway — an indulgent
+	// protocol's reaction to a violated timing bound, the only abort class
+	// that is the protocol's fault rather than the workload's.
+	StaleReads    int64
+	IntentClashes int64
+	TimingAborts  int64
 }
 
 // KVConfig parameterizes the kv contention sweep.
@@ -104,15 +116,18 @@ func KV(cfg KVConfig) ([]KVRow, string, error) {
 	t.title(fmt.Sprintf(
 		"KV contention sweep (shards=%d f=%d, %d txns/point, %d workers, %d keys, %d ops/txn, %.0f%% reads, U=%v)",
 		cfg.Shards, cfg.F, cfg.Txns, cfg.Workers, cfg.Keys, cfg.OpsPerTxn, 100*cfg.ReadFrac, cfg.Timeout))
-	t.row("%-14s %6s %10s %8s %9s %10s %10s %10s", "protocol", "theta", "txn/s", "aborts", "abort%", "p50", "p95", "p99")
+	t.row("%-14s %6s %10s %8s %9s %10s %10s %10s %7s %8s %8s", "protocol", "theta", "txn/s", "aborts", "abort%", "p50", "p95", "p99", "stale", "intent", "timing")
 	for _, r := range rows {
-		t.row("%-14s %6.2f %10.0f %8d %8.1f%% %10s %10s %10s",
+		t.row("%-14s %6.2f %10.0f %8d %8.1f%% %10s %10s %10s %7d %8d %8d",
 			r.Protocol, r.Theta, r.TxnsPerSec, r.Aborted, 100*r.AbortRate,
-			r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+			r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+			r.StaleReads, r.IntentClashes, r.TimingAborts)
 	}
 	t.blank()
 	t.row("Aborts are real conflicts on shard state (stale reads, intent clashes), voted through the")
-	t.row("commit protocol; theta is the Zipf skew of the key choice (0 = uniform).")
+	t.row("commit protocol; theta is the Zipf skew of the key choice (0 = uniform). The stale/intent")
+	t.row("columns split Prepare's no-votes by cause; timing counts all-yes transactions the protocol")
+	t.row("aborted anyway (its reaction to a violated timing bound, not a workload conflict).")
 	return rows, t.String(), nil
 }
 
@@ -129,6 +144,9 @@ func kvPoint(name string, theta float64, cfg KVConfig) (KVRow, error) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
+	stale0 := obs.M.CounterValue("kv.conflict.stale_read")
+	intent0 := obs.M.CounterValue("kv.conflict.intent")
+	timing0 := obs.M.CounterValue("commit.abort.timing." + name)
 	stats, err := kv.Run(ctx, s, kv.Workload{
 		Keys: cfg.Keys, Theta: theta, ReadFrac: cfg.ReadFrac, OpsPerTxn: cfg.OpsPerTxn,
 	}, kv.RunConfig{Txns: cfg.Txns, Workers: cfg.Workers, Seed: cfg.Seed})
@@ -143,5 +161,9 @@ func kvPoint(name string, theta float64, cfg KVConfig) (KVRow, error) {
 		P50:        stats.Percentile(0.50),
 		P95:        stats.Percentile(0.95),
 		P99:        stats.Percentile(0.99),
+
+		StaleReads:    obs.M.CounterValue("kv.conflict.stale_read") - stale0,
+		IntentClashes: obs.M.CounterValue("kv.conflict.intent") - intent0,
+		TimingAborts:  obs.M.CounterValue("commit.abort.timing."+name) - timing0,
 	}, nil
 }

@@ -31,6 +31,11 @@ type Snapshot struct {
 
 	// Send characterizes the transport hot path, independent of protocol.
 	Send *SendStats `json:"send,omitempty"`
+
+	// Metrics is the final observability counter state of the run (every
+	// counter in obs.M, cumulative over all rows) — context for a snapshot
+	// whose row columns look off, not a diffable quantity.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
 }
 
 // SendStats is the per-envelope cost of the live TCP path, measured

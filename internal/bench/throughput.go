@@ -11,7 +11,23 @@ import (
 	"time"
 
 	"atomiccommit/commit"
+	"atomiccommit/internal/obs"
 )
+
+// counterShot is the set of observability counters a throughput point diffs
+// to derive its wire-level columns.
+type counterShot struct {
+	wireBytes, frames, dials, cons int64
+}
+
+func takeShot(proto string) counterShot {
+	return counterShot{
+		wireBytes: obs.M.CounterValue("live.send.bytes") + obs.M.CounterValue("live.mesh.bytes"),
+		frames:    obs.M.CounterValue("live.tcp.flush.frames"),
+		dials:     obs.M.CounterValue("live.tcp.dials"),
+		cons:      obs.M.CounterValue("decide_path." + proto + ".consensus"),
+	}
+}
 
 // ThroughputRow is one throughput data point: one protocol driven with a
 // fixed number of transactions at one in-flight depth on one runtime (the
@@ -47,6 +63,24 @@ type ThroughputRow struct {
 	// whole cluster's footprint per commit, protocol + transport + codec).
 	AllocsPerTxn float64 `json:"allocsPerTxn"`
 	BytesPerTxn  float64 `json:"bytesPerTxn"`
+
+	// Wire-level costs per transaction, from the observability counter
+	// deltas around the point (the bench assumes it owns the process; a
+	// concurrent commit workload would pollute these columns). WireBytes
+	// counts encoded envelope bytes across all n participants — the mesh
+	// round-trips the TCP codec, so mesh and tcp rows are comparable.
+	WireBytesPerTxn float64 `json:"wireBytesPerTxn"`
+	// FramesPerTxn (TCP only) is flushed frames per transaction: envelope
+	// coalescing shows up here as frames << envelopes.
+	FramesPerTxn float64 `json:"framesPerTxn"`
+	// TCPDials (TCP only) counts connection dials during the point,
+	// including each peer's lazy first-contact dials; anything beyond
+	// n*(n-1) means evictions forced redials.
+	TCPDials int64 `json:"tcpDials"`
+	// ConsDecides counts per-member "decide-path = consensus" annotations:
+	// how often the protocol fell off its fast path into the fallback
+	// consensus (0 for protocols that do not annotate paths).
+	ConsDecides int64 `json:"consDecides"`
 
 	// SpeedupVsSerial is TxnsPerSec over the depth-1 row of the same
 	// protocol (1 for the baseline itself).
@@ -130,11 +164,12 @@ func Throughput(cfg ThroughputConfig) ([]ThroughputRow, string, error) {
 	var t table
 	t.title(fmt.Sprintf("Commit throughput vs in-flight depth (%s runtime, n=%d f=%d, %d txns/point, U=%v)",
 		cfg.Runtime, cfg.N, cfg.F, cfg.Txns, cfg.Timeout))
-	t.row("%-12s %6s %10s %10s %10s %10s %9s %7s %10s", "protocol", "depth", "txn/s", "p50", "p95", "p99", "speedup", "aborts", "allocs/txn")
+	t.row("%-12s %6s %10s %10s %10s %10s %9s %7s %10s %10s %10s %5s", "protocol", "depth", "txn/s", "p50", "p95", "p99", "speedup", "aborts", "allocs/txn", "wireB/txn", "frames/txn", "cons")
 	for _, r := range rows {
-		t.row("%-12s %6d %10.0f %10s %10s %10s %8.1fx %7d %10.0f",
+		t.row("%-12s %6d %10.0f %10s %10s %10s %8.1fx %7d %10.0f %10.0f %10.1f %5d",
 			r.Protocol, r.Depth, r.TxnsPerSec, r.P50.Round(time.Microsecond),
-			r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.SpeedupVsSerial, r.Aborted, r.AllocsPerTxn)
+			r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.SpeedupVsSerial, r.Aborted, r.AllocsPerTxn,
+			r.WireBytesPerTxn, r.FramesPerTxn, r.ConsDecides)
 	}
 	return rows, t.String(), nil
 }
@@ -186,6 +221,7 @@ func throughputPoint(name string, depth int, cfg ThroughputConfig) (ThroughputRo
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
+	s0 := takeShot(name)
 	begin := time.Now()
 	if depth == 1 {
 		for i := 0; i < cfg.Txns; i++ {
@@ -234,6 +270,7 @@ func throughputPoint(name string, depth int, cfg ThroughputConfig) (ThroughputRo
 	}
 	elapsed := time.Since(begin)
 	runtime.ReadMemStats(&m1)
+	s1 := takeShot(name)
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	pct := func(p float64) time.Duration {
@@ -248,6 +285,11 @@ func throughputPoint(name string, depth int, cfg ThroughputConfig) (ThroughputRo
 		Aborted:      int(aborted.Load()),
 		AllocsPerTxn: float64(m1.Mallocs-m0.Mallocs) / float64(cfg.Txns),
 		BytesPerTxn:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(cfg.Txns),
+
+		WireBytesPerTxn: float64(s1.wireBytes-s0.wireBytes) / float64(cfg.Txns),
+		FramesPerTxn:    float64(s1.frames-s0.frames) / float64(cfg.Txns),
+		TCPDials:        s1.dials - s0.dials,
+		ConsDecides:     s1.cons - s0.cons,
 	}, nil
 }
 

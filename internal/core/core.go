@@ -162,5 +162,26 @@ type Env interface {
 	Register(name string, child Module, onDecide func(Value))
 }
 
+// Annotator is optionally implemented by an Env whose runtime keeps a
+// flight-recorder timeline (the live runtime does; the simulator has its
+// own exact trace and does not). Annotations are free-form (key, note)
+// pairs a protocol emits at its interesting branch points — e.g. INBAC
+// reports which Figure 1 decide path it took under the key
+// "decide-path" — and land in the per-transaction trace and the metrics
+// registry without the protocol knowing either exists.
+type Annotator interface {
+	Annotate(key, note string)
+}
+
+// Annotate forwards to env's Annotator if it has one. Protocol code
+// calls this at branch points; on runtimes without an Annotator it is a
+// no-op. Keep notes to constant strings on hot paths — the arguments
+// are evaluated even when nothing listens.
+func Annotate(env Env, key, note string) {
+	if a, ok := env.(Annotator); ok {
+		a.Annotate(key, note)
+	}
+}
+
 // NoCrash is a sentinel crash time meaning "the process is correct".
 const NoCrash Ticks = 1<<62 - 1

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/obs"
 )
 
 // TickDuration is the real-time length of one core.Ticks.
@@ -54,21 +55,23 @@ type Transport interface {
 
 // Instance is one process's run of one commit protocol instance.
 type Instance struct {
-	id   core.ProcessID
-	n, f int
-	u    core.Ticks
-	txID string
+	id    core.ProcessID
+	n, f  int
+	u     core.Ticks
+	txID  string
+	label string // protocol name, for metrics; "" if the caller set none
 
 	tr    Transport // shared per-process transport (routes by TxID)
 	sendE func(Envelope) error
 
-	mu      sync.Mutex
-	started time.Time
-	running bool
-	pending []Envelope // deliveries that arrived before Start
-	modules map[string]core.Module
-	timers  []*time.Timer
-	closed  bool
+	mu         sync.Mutex
+	started    time.Time
+	running    bool
+	pending    []Envelope // deliveries that arrived before Start
+	modules    map[string]core.Module
+	timers     []*time.Timer
+	closed     bool
+	decidePath string // last "decide-path" annotation (see Env Annotate)
 
 	decideOnce sync.Once
 	done       chan struct{}
@@ -82,6 +85,8 @@ type Config struct {
 	// U is the timeout unit in ticks (milliseconds).
 	U    core.Ticks
 	TxID string
+	// Label names the protocol for metrics and traces (optional).
+	Label string
 	// New builds the root protocol module.
 	New func(id core.ProcessID) core.Module
 	// Send transmits an envelope (bound to the process's transport).
@@ -91,7 +96,7 @@ type Config struct {
 // NewInstance builds (but does not start) an instance.
 func NewInstance(cfg Config) *Instance {
 	inst := &Instance{
-		id: cfg.ID, n: cfg.N, f: cfg.F, u: cfg.U, txID: cfg.TxID,
+		id: cfg.ID, n: cfg.N, f: cfg.F, u: cfg.U, txID: cfg.TxID, label: cfg.Label,
 		sendE:   cfg.Send,
 		modules: make(map[string]core.Module),
 		done:    make(chan struct{}),
@@ -107,6 +112,12 @@ func (inst *Instance) Start(vote core.Value) {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	inst.started = time.Now()
+	if obs.Default.Enabled() {
+		obs.Default.Record(obs.Event{
+			Kind: obs.EvVote, TxID: inst.txID, Proc: inst.id,
+			Arg: int64(vote), Note: vote.String(),
+		})
+	}
 	root := inst.modules[""]
 	root.Init(&liveEnv{inst: inst, path: ""})
 	inst.running = true
@@ -146,6 +157,16 @@ func (inst *Instance) Done() <-chan struct{} { return inst.done }
 
 // Outcome returns the decision; valid only after Done is closed.
 func (inst *Instance) Outcome() core.Value { return inst.outcome }
+
+// DecidePath returns the instance's last "decide-path" annotation (see
+// core.Annotate): which branch of its protocol's decision state machine
+// produced the outcome. "" if the protocol does not report paths. Valid
+// once Done is closed; safe to call at any time.
+func (inst *Instance) DecidePath() string {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.decidePath
+}
 
 // Wait blocks until the decision or ctx expiry.
 func (inst *Instance) Wait(ctx context.Context) (core.Value, error) {
@@ -187,6 +208,14 @@ func (e *liveEnv) Now() core.Ticks    { return e.inst.now() }
 func (e *liveEnv) Send(to core.ProcessID, m core.Message) {
 	env := Envelope{TxID: e.inst.txID, From: e.inst.id, To: to, Path: e.path, Msg: m}
 	if to == e.inst.id {
+		if obs.Default.Enabled() {
+			// Self-sends never reach a transport (the paper's footnote 10:
+			// not a network message), so trace them here.
+			obs.Default.Record(obs.Event{
+				Kind: obs.EvSend, TxID: env.TxID, Proc: env.From, Peer: to,
+				Path: e.path, Note: "self",
+			})
+		}
 		// Local delivery, asynchronously to respect the event-handler
 		// atomicity contract (we are inside a handler holding the lock).
 		go e.inst.Deliver(env)
@@ -205,6 +234,12 @@ func (e *liveEnv) SetTimerAt(t core.Ticks, tag int) {
 	if d < 0 {
 		d = 0
 	}
+	if obs.Default.Enabled() {
+		obs.Default.Record(obs.Event{
+			Kind: obs.EvTimerArm, TxID: e.inst.txID, Proc: e.inst.id,
+			Path: e.path, Tag: tag, Arg: int64(t),
+		})
+	}
 	path := e.path
 	timer := time.AfterFunc(d, func() {
 		e.inst.mu.Lock()
@@ -213,6 +248,12 @@ func (e *liveEnv) SetTimerAt(t core.Ticks, tag int) {
 			return
 		}
 		if m, ok := e.inst.modules[path]; ok {
+			if obs.Default.Enabled() {
+				obs.Default.Record(obs.Event{
+					Kind: obs.EvTimerFire, TxID: e.inst.txID, Proc: e.inst.id,
+					Path: path, Tag: tag, Arg: int64(e.inst.now()),
+				})
+			}
 			m.Timeout(tag)
 		}
 	})
@@ -224,9 +265,39 @@ func (e *liveEnv) Decide(v core.Value) {
 		return // child decisions are routed via Register's callback
 	}
 	e.inst.decideOnce.Do(func() {
+		if obs.Default.Enabled() {
+			obs.Default.Record(obs.Event{
+				Kind: obs.EvDecide, TxID: e.inst.txID, Proc: e.inst.id,
+				Arg: int64(v), Note: v.String(),
+			})
+		}
 		e.inst.outcome = v
 		close(e.inst.done)
 	})
+}
+
+// Annotate implements core.Annotator: protocol branch points land in the
+// flight recorder (when enabled) and the metrics registry (always). The
+// "decide-path" key additionally sticks to the instance so the commit
+// layer can label its latency histograms per decide path. Called from
+// inside handlers, so inst.mu is already held.
+func (e *liveEnv) Annotate(key, note string) {
+	if key == "decide-path" {
+		if e.inst.decidePath == "" {
+			e.inst.decidePath = note
+		}
+		label := e.inst.label
+		if label == "" {
+			label = "unlabeled"
+		}
+		obs.M.Counter("decide_path." + label + "." + note).Add(1)
+	}
+	if obs.Default.Enabled() {
+		obs.Default.Record(obs.Event{
+			Kind: obs.EvAnnotate, TxID: e.inst.txID, Proc: e.inst.id,
+			Path: e.path, Note: key + "=" + note,
+		})
+	}
 }
 
 // Register is only ever called from inside Init/handlers (inst.mu held).

@@ -7,7 +7,15 @@ import (
 	"time"
 
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/obs"
 	"atomiccommit/internal/wire"
+)
+
+// Mesh metrics: the mesh round-trips the same codec as TCP, so its
+// per-envelope byte counts are real wire footprints.
+var (
+	mMeshEnvelopes = obs.M.Counter("live.mesh.envelopes")
+	mMeshBytes     = obs.M.Counter("live.mesh.bytes")
 )
 
 // Mesh is an in-memory network connecting n processes in one address space:
@@ -79,23 +87,23 @@ type meshBuf struct {
 var meshBufPool = sync.Pool{New: func() any { return new(meshBuf) }}
 
 // roundTrip encodes and decodes e through the wire codec (see the Mesh
-// comment). The returned envelope owns all of its memory: the pooled buffer
-// is released before returning.
-func roundTrip(e Envelope) (Envelope, error) {
+// comment), reporting the encoded size. The returned envelope owns all
+// of its memory: the pooled buffer is released before returning.
+func roundTrip(e Envelope) (Envelope, int, error) {
 	bb := meshBufPool.Get().(*meshBuf)
 	defer meshBufPool.Put(bb)
 	var err error
 	bb.frame, bb.scratch, err = appendEnvelope(bb.frame[:0], &e, bb.scratch)
 	if err != nil {
-		return Envelope{}, err
+		return Envelope{}, 0, err
 	}
 	var d wire.Decoder
 	d.Reset(bb.frame)
 	out, err := decodeEnvelope(&d)
 	if err != nil {
-		return Envelope{}, fmt.Errorf("live: mesh codec round-trip of %T: %w", e.Msg, err)
+		return Envelope{}, 0, fmt.Errorf("live: mesh codec round-trip of %T: %w", e.Msg, err)
 	}
-	return out, nil
+	return out, len(bb.frame), nil
 }
 
 func (t *meshEndpoint) Send(e Envelope) error {
@@ -107,13 +115,34 @@ func (t *meshEndpoint) Send(e Envelope) error {
 	if h == nil || (drop != nil && drop(e)) {
 		return nil // silence models a crashed/partitioned peer
 	}
-	if _, ok := e.Msg.(core.Wire); ok {
+	size := 0
+	if w, ok := e.Msg.(core.Wire); ok {
 		var err error
-		if e, err = roundTrip(e); err != nil {
+		if e, size, err = roundTrip(e); err != nil {
 			return err
 		}
+		mMeshEnvelopes.Add(1)
+		mMeshBytes.Add(int64(size))
+		if obs.Default.Enabled() {
+			obs.Default.Record(obs.Event{
+				Kind: obs.EvSend, TxID: e.TxID, Proc: e.From, Peer: e.To,
+				Path: e.Path, WireID: w.WireID(), Size: size,
+			})
+		}
 	}
-	deliver := func() { h(e) }
+	deliver := func() {
+		if obs.Default.Enabled() {
+			var wid uint16
+			if w, ok := e.Msg.(core.Wire); ok {
+				wid = w.WireID()
+			}
+			obs.Default.Record(obs.Event{
+				Kind: obs.EvRecv, TxID: e.TxID, Proc: e.To, Peer: e.From,
+				Path: e.Path, WireID: wid, Size: size,
+			})
+		}
+		h(e)
+	}
 	if lat != nil {
 		time.AfterFunc(lat(e), deliver)
 	} else {

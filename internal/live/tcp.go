@@ -11,7 +11,23 @@ import (
 	"time"
 
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/obs"
 	"atomiccommit/internal/wire"
+)
+
+// Transport metrics, resolved once so the per-envelope cost is a couple
+// of atomic adds (the flight recorder is additionally gated by its
+// enabled flag; see obs). These feed the bench columns and /debug.
+var (
+	mSendEnvelopes = obs.M.Counter("live.send.envelopes")
+	mSendBytes     = obs.M.Counter("live.send.bytes")
+	mRecvEnvelopes = obs.M.Counter("live.recv.envelopes")
+	mFlushFrames   = obs.M.Counter("live.tcp.flush.frames")
+	mFlushBytes    = obs.M.Counter("live.tcp.flush.bytes")
+	mReadFrames    = obs.M.Counter("live.tcp.read.frames")
+	mReadBytes     = obs.M.Counter("live.tcp.read.bytes")
+	mDials         = obs.M.Counter("live.tcp.dials")
+	mEvictions     = obs.M.Counter("live.tcp.evictions") // dead conns dropped; the next Send redials
 )
 
 // sendBufferSize is the per-connection read buffer. Envelopes are tens to a
@@ -182,14 +198,25 @@ func (t *TCP) readLoop(c net.Conn) {
 		t.mu.Lock()
 		h := t.handler
 		t.mu.Unlock()
+		mReadFrames.Add(1)
+		mReadBytes.Add(int64(len(frame)))
 		d.Reset(frame)
 		for d.Remaining() > 0 {
+			before := d.Remaining()
 			e, err := decodeEnvelope(&d)
 			if err != nil {
 				if errors.Is(err, errUnknownWireID) {
 					continue
 				}
 				return
+			}
+			mRecvEnvelopes.Add(1)
+			if obs.Default.Enabled() {
+				obs.Default.Record(obs.Event{
+					Kind: obs.EvRecv, TxID: e.TxID, Proc: e.To, Peer: e.From,
+					Path: e.Path, WireID: e.Msg.(core.Wire).WireID(),
+					Size: before - d.Remaining(),
+				})
 			}
 			if h != nil {
 				h(e)
@@ -231,6 +258,7 @@ func (t *TCP) Send(e Envelope) error {
 			conn = nil
 			continue
 		}
+		before := len(conn.pending)
 		var err error
 		conn.pending, conn.scratch, err = appendEnvelope(conn.pending, &e, conn.scratch)
 		if err != nil {
@@ -238,6 +266,15 @@ func (t *TCP) Send(e Envelope) error {
 			// wire (unregistered / not core.Wire). Surface the bug.
 			conn.mu.Unlock()
 			return err
+		}
+		size := len(conn.pending) - before
+		mSendEnvelopes.Add(1)
+		mSendBytes.Add(int64(size))
+		if obs.Default.Enabled() {
+			obs.Default.Record(obs.Event{
+				Kind: obs.EvSend, TxID: e.TxID, Proc: e.From, Peer: e.To,
+				Path: e.Path, WireID: e.Msg.(core.Wire).WireID(), Size: size,
+			})
 		}
 		select {
 		case conn.kick <- struct{}{}:
@@ -273,6 +310,8 @@ func (t *TCP) flushLoop(to core.ProcessID, conn *tcpConn) {
 		conn.pending = spare[:0]
 		conn.mu.Unlock()
 
+		mFlushFrames.Add(1)
+		mFlushBytes.Add(int64(len(frame)))
 		n := 1 + binary.PutUvarint(hdr[1:], uint64(len(frame)))
 		bufs := net.Buffers{hdr[:n], frame}
 		_, err := bufs.WriteTo(conn.c)
@@ -301,6 +340,7 @@ func (t *TCP) forget(to core.ProcessID, conn *tcpConn) {
 	t.mu.Lock()
 	if t.conns[to] == conn {
 		delete(t.conns, to)
+		mEvictions.Add(1)
 	}
 	t.mu.Unlock()
 	conn.shut()
@@ -323,6 +363,7 @@ func (t *TCP) dial(to core.ProcessID) (*tcpConn, error) {
 	if err != nil {
 		return nil, err
 	}
+	mDials.Add(1)
 	conn := &tcpConn{c: c, kick: make(chan struct{}, 1)}
 	t.mu.Lock()
 	defer t.mu.Unlock()

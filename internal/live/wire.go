@@ -16,7 +16,7 @@ import (
 // information on the wire, so IDs are allocated in per-package blocks and
 // never renumbered:
 //
-//	 1       commit (beginMsg)
+//	 1..2    commit (beginMsg, decideMsg)
 //	 8..14   internal/consensus (incl. flooding)
 //	16..20   protocols/inbac
 //	24..26   protocols/twopc

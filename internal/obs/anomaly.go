@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Anomaly identifies one detected correctness problem on the live
+// commit path: a cross-member decision mismatch, an agreement-check
+// failure, an invariant breach.
+type Anomaly struct {
+	Kind   string    `json:"kind"`
+	TxID   string    `json:"txID"`
+	Detail string    `json:"detail"`
+	Time   time.Time `json:"time"`
+}
+
+// Dump is an anomaly plus the merged multi-process flight-recorder
+// timeline of the offending transaction, in time order across every
+// recording participant.
+type Dump struct {
+	Anomaly Anomaly `json:"anomaly"`
+	Events  []Event `json:"events"`
+}
+
+// JSON renders the dump as indented JSON.
+func (d *Dump) JSON() []byte {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return []byte(fmt.Sprintf("{%q:%q}", "error", err.Error()))
+	}
+	return append(b, '\n')
+}
+
+// Interleaving renders the dump as a human-readable merged timeline:
+// one line per event, time-relative to the first, one column naming the
+// recording participant — the message/timer interleaving that produced
+// the anomaly, readable top to bottom.
+func (d *Dump) Interleaving() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ANOMALY %s tx=%s: %s\n", d.Anomaly.Kind, d.Anomaly.TxID, d.Anomaly.Detail)
+	if len(d.Events) == 0 {
+		b.WriteString("  (no trace events: was the flight recorder enabled?)\n")
+		return b.String()
+	}
+	t0 := d.Events[0].T
+	fmt.Fprintf(&b, "merged timeline, %d events, t0=%s:\n", len(d.Events), time.Unix(0, t0).Format(time.RFC3339Nano))
+	for _, e := range d.Events {
+		fmt.Fprintf(&b, "  %+10.3fms  %-3s %-14s %s\n",
+			float64(e.T-t0)/1e6, e.Proc.String(), e.Kind.String(), eventDetail(e))
+	}
+	return b.String()
+}
+
+// eventDetail renders the kind-dependent tail of one interleaving line.
+func eventDetail(e Event) string {
+	var s string
+	switch e.Kind {
+	case EvSend:
+		s = fmt.Sprintf("-> %s wire=%d %dB", e.Peer, e.WireID, e.Size)
+	case EvRecv:
+		s = fmt.Sprintf("<- %s wire=%d %dB", e.Peer, e.WireID, e.Size)
+	case EvVote, EvDecide:
+		s = e.Note
+	case EvTimerArm:
+		s = fmt.Sprintf("tag=%d at=%dU-ticks", e.Tag, e.Arg)
+	case EvTimerFire:
+		s = fmt.Sprintf("tag=%d now=%d-ticks", e.Tag, e.Arg)
+	default:
+		s = e.Note
+	}
+	if e.Path != "" {
+		s += " path=" + e.Path
+	}
+	return s
+}
+
+var (
+	anomalyHook atomic.Value // func(Dump)
+	dumpDir     atomic.Value // string
+)
+
+// SetAnomalyHook installs f to be called (synchronously) with every
+// reported anomaly's dump; nil uninstalls. The commit runtimes report
+// decision mismatches here, tests intercept them, and commitbench
+// -trace prints the interleaving.
+func SetAnomalyHook(f func(Dump)) {
+	if f == nil {
+		anomalyHook.Store(func(Dump) {})
+		return
+	}
+	anomalyHook.Store(f)
+}
+
+// SetDumpDir selects a directory to write anomaly dump files into
+// (anomaly-<tx>-<kind>.json and .txt); "" disables file output.
+func SetDumpDir(dir string) { dumpDir.Store(dir) }
+
+// ReportAnomaly records an anomaly: bumps the anomaly counter, stamps
+// an EvAnomaly event into the flight recorder, assembles the offending
+// transaction's merged timeline, writes dump files if a dump directory
+// is set, and invokes the anomaly hook. It returns the dump.
+func ReportAnomaly(kind, txID, detail string) Dump {
+	M.Counter("obs.anomalies").Add(1)
+	M.Counter("obs.anomalies." + kind).Add(1)
+	Default.Record(Event{Kind: EvAnomaly, TxID: txID, Note: kind + ": " + detail})
+	d := Dump{
+		Anomaly: Anomaly{Kind: kind, TxID: txID, Detail: detail, Time: time.Now()},
+		Events:  Default.TxTimeline(txID),
+	}
+	if dir, _ := dumpDir.Load().(string); dir != "" {
+		base := filepath.Join(dir, "anomaly-"+sanitize(txID)+"-"+sanitize(kind))
+		_ = os.WriteFile(base+".json", d.JSON(), 0o644)
+		_ = os.WriteFile(base+".txt", []byte(d.Interleaving()), 0o644)
+	}
+	if f, _ := anomalyHook.Load().(func(Dump)); f != nil {
+		f(d)
+	}
+	return d
+}
+
+// sanitize keeps dump file names shell- and filesystem-safe.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, s)
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDisabledRecordAllocs pins the zero-cost-when-off contract: with the
+// recorder disabled, Record is a branch — no allocation, so the tracing
+// calls can stay compiled into the transport hot path (the TCP send path's
+// own ~0 allocs/envelope is pinned by live.TestTCPSendSteadyStateAllocs).
+func TestDisabledRecordAllocs(t *testing.T) {
+	r := NewRecorder(64)
+	e := Event{Kind: EvSend, TxID: "tx", Proc: 1, Peer: 2, WireID: 17, Size: 32}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Record allocates %.2f/op, want 0", allocs)
+	}
+	if got := len(r.Snapshot()); got != 0 {
+		t.Fatalf("disabled Record stored %d events, want 0", got)
+	}
+}
+
+// TestRecorderConcurrent stress-tests concurrent ring writers against a
+// snapshotting reader; run under -race this pins the lock-free claim.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(256)
+	r.Enable()
+	const writers, perWriter = 8, 2000
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Snapshot()
+				r.TxTimeline("tx-3")
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(Event{Kind: EvSend, TxID: fmt.Sprintf("tx-%d", w), Proc: 1, Size: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+
+	events := r.Snapshot()
+	if len(events) != 256 {
+		t.Fatalf("full ring holds %d events, want 256", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		a, b := events[i-1], events[i]
+		if a.T > b.T || (a.T == b.T && a.Seq > b.Seq) {
+			t.Fatalf("snapshot out of order at %d: (%d,%d) before (%d,%d)", i, a.T, a.Seq, b.T, b.Seq)
+		}
+	}
+}
+
+// TestTxTimelineFilters checks TxTimeline returns exactly one
+// transaction's events, merged across recording participants.
+func TestTxTimelineFilters(t *testing.T) {
+	r := NewRecorder(64)
+	r.Enable()
+	for p := 1; p <= 3; p++ {
+		r.Record(Event{Kind: EvDecide, TxID: "a", Proc: 1})
+		r.Record(Event{Kind: EvDecide, TxID: "b", Proc: 2})
+	}
+	got := r.TxTimeline("a")
+	if len(got) != 3 {
+		t.Fatalf("timeline for tx a has %d events, want 3", len(got))
+	}
+	for _, e := range got {
+		if e.TxID != "a" {
+			t.Fatalf("timeline for tx a includes tx %q", e.TxID)
+		}
+	}
+	r.Reset()
+	if got := r.TxTimeline("a"); len(got) != 0 {
+		t.Fatalf("after Reset timeline has %d events, want 0", len(got))
+	}
+}
+
+// TestHistogramQuantiles sanity-checks the log-linear bucketing: quantile
+// estimates must be within one sub-bucket (~12.5%) below the true value.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Record(int64(i))
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	// The estimate is the lower bound of the bucket holding the true
+	// quantile: exact bucket membership is the contract, not a tolerance.
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.50, n / 2}, {0.95, n * 95 / 100}, {0.99, n * 99 / 100}} {
+		got := h.Quantile(tc.q)
+		if want := bucketLower(bucketOf(tc.want)); got != want {
+			t.Errorf("q%.0f = %d, want bucket floor %d of true value %d", tc.q*100, got, want, tc.want)
+		}
+	}
+	if got := h.Quantile(1.0); got > h.max.Load() {
+		t.Errorf("q100 = %d beyond max %d", got, h.max.Load())
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 7, 8, 100, 1 << 20, 1<<62 + 12345} {
+		b := bucketOf(v)
+		lo := bucketLower(b)
+		if lo > v {
+			t.Errorf("bucketLower(bucketOf(%d)) = %d > %d", v, lo, v)
+		}
+		if b+1 < histBuckets && bucketLower(b+1) <= v {
+			t.Errorf("value %d beyond its bucket %d upper bound", v, b)
+		}
+	}
+}
+
+// TestReportAnomalyDump exercises the full anomaly path: counter, hook,
+// timeline assembly, and dump files.
+func TestReportAnomalyDump(t *testing.T) {
+	Default.Enable()
+	defer Default.Disable()
+	defer Default.Reset()
+	defer SetAnomalyHook(nil)
+	defer SetDumpDir("")
+
+	dir := t.TempDir()
+	SetDumpDir(dir)
+	var hooked Dump
+	SetAnomalyHook(func(d Dump) { hooked = d })
+
+	Default.Record(Event{Kind: EvDecide, TxID: "tx-anom", Proc: 1, Note: "commit"})
+	Default.Record(Event{Kind: EvDecide, TxID: "tx-anom", Proc: 2, Note: "abort"})
+	before := M.CounterValue("obs.anomalies")
+	d := ReportAnomaly("test-mismatch", "tx-anom", "P1=commit P2=abort")
+
+	if got := M.CounterValue("obs.anomalies"); got != before+1 {
+		t.Errorf("anomaly counter = %d, want %d", got, before+1)
+	}
+	if len(d.Events) != 3 { // two decides + the EvAnomaly marker
+		t.Errorf("dump has %d events, want 3", len(d.Events))
+	}
+	if hooked.Anomaly.Kind != "test-mismatch" {
+		t.Errorf("hook saw kind %q", hooked.Anomaly.Kind)
+	}
+	text := d.Interleaving()
+	for _, want := range []string{"test-mismatch", "tx-anom", "decide", "commit", "abort"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("interleaving missing %q:\n%s", want, text)
+		}
+	}
+	for _, ext := range []string{".json", ".txt"} {
+		path := filepath.Join(dir, "anomaly-tx-anom-test-mismatch"+ext)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("dump file: %v", err)
+		}
+		if ext == ".json" {
+			var back Dump
+			if err := json.Unmarshal(b, &back); err != nil {
+				t.Fatalf("dump json: %v", err)
+			}
+			if back.Anomaly.TxID != "tx-anom" || len(back.Events) != len(d.Events) {
+				t.Errorf("json round-trip lost data: %+v", back.Anomaly)
+			}
+		}
+	}
+}
+
+// TestDebugHandler drives the HTTP observability surface.
+func TestDebugHandler(t *testing.T) {
+	M.Counter("test.debug.counter").Add(7)
+	Default.Enable()
+	defer Default.Disable()
+	defer Default.Reset()
+	Default.Record(Event{Kind: EvSend, TxID: "tx-debug", Proc: 1, Peer: 2})
+
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	var metrics map[string]any
+	if err := json.Unmarshal(get("/debug/metrics"), &metrics); err != nil {
+		t.Fatalf("metrics json: %v", err)
+	}
+	if v, ok := metrics["test.debug.counter"]; !ok || v.(float64) < 7 {
+		t.Errorf("metrics missing test.debug.counter: %v", metrics["test.debug.counter"])
+	}
+	var events []Event
+	if err := json.Unmarshal(get("/debug/trace?tx=tx-debug"), &events); err != nil {
+		t.Fatalf("trace json: %v", err)
+	}
+	if len(events) != 1 || events[0].TxID != "tx-debug" {
+		t.Errorf("trace returned %+v", events)
+	}
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Error("pprof cmdline empty")
+	}
+	if body := get("/debug/vars"); !strings.Contains(string(body), "atomiccommit") {
+		t.Error("expvar missing atomiccommit")
+	}
+}

@@ -180,6 +180,32 @@ const (
 	BranchConsensusDecided
 )
 
+// Tag is the branch's short stable name, used as the "decide-path"
+// annotation (core.Annotate) on the live runtime: it labels the flight
+// recorder's per-transaction timeline, the decide_path.* counters, and
+// the per-path commit latency histograms.
+func (b Branch) Tag() string {
+	switch b {
+	case BranchFastDecide:
+		return "fast"
+	case BranchConsAND:
+		return "cons-and"
+	case BranchConsZero:
+		return "cons-zero"
+	case BranchAskHelp:
+		return "ask-help"
+	case BranchHelpFast:
+		return "help-fast"
+	case BranchHelpConsAND:
+		return "help-cons-and"
+	case BranchHelpConsZero:
+		return "help-cons-zero"
+	case BranchConsensusDecided:
+		return "consensus"
+	}
+	return "unknown"
+}
+
 // String names the branch as in Figure 1.
 func (b Branch) String() string {
 	switch b {
@@ -329,17 +355,24 @@ func (p *INBAC) pairs(m map[core.ProcessID]core.Value) []VotePair {
 	return out
 }
 
-// Timeout implements core.Module.
+// Timeout implements core.Module. The annotations name which handler a
+// fired timer ran — the flight recorder's raw timer-fire event only
+// carries the numeric tag, and the 2U deadline dispatches on rank
+// (decideTimeoutHigh for {Pf+1..Pn} vs decideTimeoutLow for {P1..Pf}),
+// which is exactly the split the INBAC agreement audit needs to see.
 func (p *INBAC) Timeout(tag int) {
 	switch {
 	case tag == tagBackup && p.phase == 0:
+		core.Annotate(p.env, "inbac.timer", "sendAcks")
 		p.sendAcks()
 		p.phase = 1
 		p.env.SetTimerAt(2*p.env.U(), tagDecide)
 	case tag == tagDecide && p.phase == 1 && !p.decided && !p.proposed:
 		if p.i() >= p.f()+1 {
+			core.Annotate(p.env, "inbac.timer", "decideTimeoutHigh")
 			p.decideTimeoutHigh()
 		} else {
+			core.Annotate(p.env, "inbac.timer", "decideTimeoutLow")
 			p.decideTimeoutLow()
 		}
 	}
@@ -456,6 +489,13 @@ func (p *INBAC) decideTimeoutHigh() {
 }
 
 func (p *INBAC) hook(b Branch) {
+	// BranchAskHelp is a waypoint, not a decision: it reports entering the
+	// help phase; the decide path is whichever branch ends the wait.
+	if b == BranchAskHelp {
+		core.Annotate(p.env, "inbac.help", "asking")
+	} else {
+		core.Annotate(p.env, "decide-path", b.Tag())
+	}
 	if p.opts.PathHook != nil {
 		p.opts.PathHook(p.env.ID(), b)
 	}
@@ -495,6 +535,7 @@ func (p *INBAC) checkWait() {
 	if p.cnt+p.cntHelp < p.n()-p.f() {
 		return
 	}
+	core.Annotate(p.env, "inbac.help", "wait-satisfied")
 	p.wait = false
 	switch {
 	case p.fullAcksHigh():

@@ -38,7 +38,31 @@ import (
 	"sync/atomic"
 
 	"atomiccommit/commit"
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/obs"
 )
+
+// Conflict metrics: why Prepare voted "no", split by cause. The commit
+// layer's abort counters say a vote aborted the transaction; these say
+// whether the vote was a stale read (a concurrent commit overwrote it) or a
+// key intent held by another transaction.
+var (
+	mStaleRead = obs.M.Counter("kv.conflict.stale_read")
+	mIntent    = obs.M.Counter("kv.conflict.intent")
+)
+
+// traceIntent records an intent acquire/conflict in the flight recorder.
+// Shards are not processes, but the shard id (1-based, like ProcessID)
+// slots into the event's Proc field so a merged timeline shows which
+// partition objected.
+func (sh *shard) traceIntent(kind obs.EventKind, txID, key, note string) {
+	if !obs.Default.Enabled() {
+		return
+	}
+	obs.Default.Record(obs.Event{
+		Kind: kind, TxID: txID, Proc: core.ProcessID(sh.id + 1), Note: note + " " + key,
+	})
+}
 
 // Store is a sharded transactional key-value store. All methods are safe
 // for concurrent use.
@@ -191,7 +215,10 @@ func (sh *shard) Prepare(txID string) bool {
 	}
 	for key, ver := range st.reads {
 		if sh.versions[key] != ver {
-			return false // a concurrent transaction committed over our read
+			// A concurrent transaction committed over our read.
+			mStaleRead.Add(1)
+			sh.traceIntent(obs.EvIntentConflict, txID, key, "stale-read")
+			return false
 		}
 	}
 	// Check the whole footprint first so acquisition is all-or-nothing: a
@@ -199,10 +226,14 @@ func (sh *shard) Prepare(txID string) bool {
 	for key := range st.writes {
 		if l, held := sh.locks[key]; held {
 			if l.writer != "" && l.writer != txID {
+				mIntent.Add(1)
+				sh.traceIntent(obs.EvIntentConflict, txID, key, "write-write")
 				return false
 			}
 			for r := range l.readers {
 				if r != txID {
+					mIntent.Add(1)
+					sh.traceIntent(obs.EvIntentConflict, txID, key, "write-read")
 					return false
 				}
 			}
@@ -213,11 +244,14 @@ func (sh *shard) Prepare(txID string) bool {
 			continue
 		}
 		if l, held := sh.locks[key]; held && l.writer != "" && l.writer != txID {
+			mIntent.Add(1)
+			sh.traceIntent(obs.EvIntentConflict, txID, key, "read-write")
 			return false
 		}
 	}
 	for key := range st.writes {
 		sh.lock(key).writer = txID
+		sh.traceIntent(obs.EvIntentAcquire, txID, key, "write")
 	}
 	for key := range st.reads {
 		if _, isWrite := st.writes[key]; isWrite {
