@@ -1,7 +1,10 @@
-// Command benchdiff compares two BENCH_*.json throughput snapshots (see
-// internal/bench.Snapshot) and prints the per-(protocol, depth) deltas:
+// Command benchdiff compares two BENCH_*.json snapshots (see
+// internal/bench.Snapshot) and prints the per-cell deltas — per
+// (protocol, runtime, depth) for throughput snapshots, per
+// (protocol, geo, region) for kv-geo snapshots:
 //
 //	benchdiff -old BENCH_throughput_tcp.json -new /tmp/BENCH_ci.json
+//	benchdiff -old BENCH_throughput_geo.json -new /tmp/BENCH_geo_ci.json
 //
 // A cell present in only one snapshot is a reported difference and exits 1
 // (a silently shrinking benchmark matrix is how regressions hide);
@@ -54,10 +57,12 @@ func main() {
 		base[key{r.Protocol, r.Runtime, r.Depth}] = r
 	}
 
-	fmt.Printf("%-12s %-5s %6s %12s %12s %8s %12s %12s\n",
-		"protocol", "rt", "depth", "old txn/s", "new txn/s", "delta", "old p99", "new p99")
 	failed := false
 	missing := 0
+	if len(oldSnap.Rows) > 0 || len(newSnap.Rows) > 0 {
+		fmt.Printf("%-12s %-5s %6s %12s %12s %8s %12s %12s\n",
+			"protocol", "rt", "depth", "old txn/s", "new txn/s", "delta", "old p99", "new p99")
+	}
 	for _, n := range newSnap.Rows {
 		k := key{n.Protocol, n.Runtime, n.Depth}
 		o, ok := base[k]
@@ -98,6 +103,64 @@ func main() {
 	for _, k := range left {
 		fmt.Printf("%-12s %-5s %6d  (cell missing from new snapshot)\n", k.proto, k.runtime, k.depth)
 		missing++
+	}
+
+	// kv-geo snapshots: per-region cells keyed (protocol, geo, region).
+	if len(oldSnap.KVRows) > 0 || len(newSnap.KVRows) > 0 {
+		type gkey struct {
+			proto  string
+			geo    string
+			region string
+		}
+		gbase := make(map[gkey]bench.KVGeoRow, len(oldSnap.KVRows))
+		for _, r := range oldSnap.KVRows {
+			gbase[gkey{r.Protocol, r.Geo, r.Region}] = r
+		}
+		fmt.Printf("%-12s %-10s %-8s %10s %10s %8s %12s %12s %9s %9s\n",
+			"protocol", "geo", "region", "old txn/s", "new txn/s", "delta", "old p99", "new p99", "old ab%", "new ab%")
+		for _, n := range newSnap.KVRows {
+			k := gkey{n.Protocol, n.Geo, n.Region}
+			o, ok := gbase[k]
+			if !ok {
+				fmt.Printf("%-12s %-10s %-8s %10s %10.1f %8s %12s %12s %9s %8.1f%%  (cell missing from old snapshot)\n",
+					n.Protocol, n.Geo, n.Region, "-", n.TxnsPerSec, "-", "-",
+					n.P99.Round(time.Millisecond), "-", 100*n.AbortRate)
+				missing++
+				continue
+			}
+			delete(gbase, k)
+			delta := 0.0
+			if o.TxnsPerSec > 0 {
+				delta = (n.TxnsPerSec - o.TxnsPerSec) / o.TxnsPerSec
+			}
+			mark := ""
+			if *maxRegress > 0 && delta < -*maxRegress {
+				mark = "  REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-12s %-10s %-8s %10.1f %10.1f %+7.1f%% %12s %12s %8.1f%% %8.1f%%%s\n",
+				n.Protocol, n.Geo, n.Region, o.TxnsPerSec, n.TxnsPerSec, delta*100,
+				o.P99.Round(time.Millisecond), n.P99.Round(time.Millisecond),
+				100*o.AbortRate, 100*n.AbortRate, mark)
+		}
+		gleft := make([]gkey, 0, len(gbase))
+		for k := range gbase {
+			gleft = append(gleft, k)
+		}
+		sort.Slice(gleft, func(i, j int) bool {
+			a, b := gleft[i], gleft[j]
+			if a.proto != b.proto {
+				return a.proto < b.proto
+			}
+			if a.geo != b.geo {
+				return a.geo < b.geo
+			}
+			return a.region < b.region
+		})
+		for _, k := range gleft {
+			fmt.Printf("%-12s %-10s %-8s  (cell missing from new snapshot)\n", k.proto, k.geo, k.region)
+			missing++
+		}
 	}
 
 	if oldSnap.Send != nil && newSnap.Send != nil {

@@ -82,6 +82,7 @@ func main() {
 		kvKeys    = flag.Int("kv-keys", 1024, "kv mode: keyspace size (smaller = more contention)")
 		kvOps     = flag.Int("kv-ops", 4, "kv mode: operations per transaction")
 		kvReads   = flag.Float64("kv-readfrac", 0.5, "kv mode: fraction of operations that are reads")
+		geo       = flag.String("geo", "", "kv mode with -runtime tcp: geo latency profile (local | us-eu | us-eu-ap); one shard per peer process over shaped sockets, one client per region")
 	)
 	flag.Parse()
 
@@ -207,17 +208,54 @@ func main() {
 			fmt.Fprintf(os.Stderr, "commitbench: need 1 <= kv-f <= kv-shards-1 (got shards=%d f=%d)\n", *kvShards, *kvF)
 			os.Exit(2)
 		}
-		_, s, err := bench.KV(bench.KVConfig{
-			Protocols: ps, Thetas: thetas,
-			Shards: *kvShards, F: *kvF, Txns: *kvTxns, Workers: *kvWorkers,
-			Keys: *kvKeys, OpsPerTxn: *kvOps, ReadFrac: readFrac,
-			Timeout: *timeout,
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)
-			os.Exit(1)
+		if *geo != "" || *runtimeSel == "tcp" {
+			// Distributed kv: one shard per commit.Peer over TCP, one
+			// client per region of the geo profile. The timeout unit must
+			// cover the profile's worst one-way delay, so the profile's
+			// suggestion applies unless -timeout was given explicitly.
+			geoName := *geo
+			if geoName == "" {
+				geoName = "local"
+			}
+			geoTimeout := time.Duration(0)
+			flag.Visit(func(fl *flag.Flag) {
+				if fl.Name == "timeout" {
+					geoTimeout = *timeout
+				}
+			})
+			rows, s, err := bench.KVGeo(bench.KVGeoConfig{
+				Protocol: ps[0], Geo: geoName,
+				Shards: *kvShards, F: *kvF, Txns: *kvTxns, Workers: *kvWorkers,
+				Keys: *kvKeys, OpsPerTxn: *kvOps, Theta: thetas[0], ReadFrac: readFrac,
+				Timeout: geoTimeout,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)
+				os.Exit(1)
+			}
+			show(s)
+			if *jsonOut != "" {
+				snap := bench.NewKVGeoSnapshot(rows)
+				snap.Metrics = obs.M.Counters("")
+				if err := bench.WriteSnapshot(*jsonOut, snap); err != nil {
+					fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s (%d rows)\n", *jsonOut, len(rows))
+			}
+		} else {
+			_, s, err := bench.KV(bench.KVConfig{
+				Protocols: ps, Thetas: thetas,
+				Shards: *kvShards, F: *kvF, Txns: *kvTxns, Workers: *kvWorkers,
+				Keys: *kvKeys, OpsPerTxn: *kvOps, ReadFrac: readFrac,
+				Timeout: *timeout,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)
+				os.Exit(1)
+			}
+			show(s)
 		}
-		show(s)
 	}
 	if !ran {
 		flag.Usage()

@@ -1,0 +1,284 @@
+package commit
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/live"
+	"atomiccommit/internal/wire"
+)
+
+// fakeFootprint is the hosted test resource's footprint and query message
+// (test wire ID block >= 240).
+type fakeFootprint struct {
+	Payload string
+}
+
+// Kind implements core.Message.
+func (fakeFootprint) Kind() string { return "FAKEFP" }
+
+// WireID implements core.Wire.
+func (fakeFootprint) WireID() uint16 { return 250 }
+
+// MarshalWire implements core.Wire.
+func (m fakeFootprint) MarshalWire(b []byte) []byte { return wire.AppendString(b, m.Payload) }
+
+// UnmarshalWire implements core.Wire.
+func (fakeFootprint) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return fakeFootprint{Payload: d.String()}, d.Err()
+}
+
+func init() { live.RegisterWire(fakeFootprint{}) }
+
+// hostedFake is a HostedResource recording everything done to it.
+type hostedFake struct {
+	mu        sync.Mutex
+	refuse    bool // refuse every stage
+	staged    map[string]string
+	committed []string
+	aborted   []string
+}
+
+func newHostedFake() *hostedFake { return &hostedFake{staged: make(map[string]string)} }
+
+func (h *hostedFake) Prepare(txID string) bool { return true }
+
+func (h *hostedFake) Commit(txID string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.committed = append(h.committed, txID)
+	delete(h.staged, txID)
+}
+
+func (h *hostedFake) Abort(txID string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.aborted = append(h.aborted, txID)
+	delete(h.staged, txID)
+}
+
+func (h *hostedFake) Stage(txID string, m Message) error {
+	fp, ok := m.(fakeFootprint)
+	if !ok {
+		return fmt.Errorf("unexpected footprint %T", m)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.refuse {
+		return fmt.Errorf("staging refused")
+	}
+	h.staged[txID] = fp.Payload
+	return nil
+}
+
+func (h *hostedFake) Query(m Message) (Message, error) {
+	fp, ok := m.(fakeFootprint)
+	if !ok {
+		return nil, fmt.Errorf("unexpected query %T", m)
+	}
+	return fakeFootprint{Payload: fp.Payload + "-reply"}, nil
+}
+
+func (h *hostedFake) has(list func(*hostedFake) []string, txID string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, id := range list(h) {
+		if id == txID {
+			return true
+		}
+	}
+	return false
+}
+
+func committedList(h *hostedFake) []string { return h.committed }
+func abortedList(h *hostedFake) []string   { return h.aborted }
+
+// hostedDeployment boots n peers each hosting a fresh hostedFake, plus one
+// client.
+func hostedDeployment(t *testing.T, n int, opts Options) ([]*Peer, []*hostedFake, *Client) {
+	t.Helper()
+	addrs := reserveAddrs(t, n)
+	peers := make([]*Peer, n)
+	fakes := make([]*hostedFake, n)
+	for i := 1; i <= n; i++ {
+		fakes[i-1] = newHostedFake()
+		p, err := NewPeer(i, addrs, fakes[i-1], opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i-1] = p
+		t.Cleanup(p.Close)
+	}
+	c, err := NewClient(n+1, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return peers, fakes, c
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestClientStageAndCommit(t *testing.T) {
+	t.Parallel()
+	opts := Options{Protocol: INBAC, F: 1, Timeout: 25 * time.Millisecond}
+	_, fakes, c := hostedDeployment(t, 3, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const txID = "client-tx-1"
+	for i := 1; i <= 3; i++ {
+		if err := c.Stage(ctx, txID, i, fakeFootprint{Payload: fmt.Sprintf("fp-%d", i)}); err != nil {
+			t.Fatalf("stage at P%d: %v", i, err)
+		}
+	}
+	// The stage must be on the resource before the protocol runs.
+	fakes[1].mu.Lock()
+	got := fakes[1].staged[txID]
+	fakes[1].mu.Unlock()
+	if got != "fp-2" {
+		t.Fatalf("P2 staged payload = %q, want fp-2", got)
+	}
+
+	txn := c.SubmitAt(ctx, txID, 1)
+	ok, err := txn.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("all-yes transaction aborted")
+	}
+	// Every peer decides on its own; the commit callback may trail the
+	// client's result slightly.
+	for i, f := range fakes {
+		f := f
+		waitFor(t, fmt.Sprintf("P%d commit callback", i+1), func() bool {
+			return f.has(committedList, txID)
+		})
+	}
+}
+
+func TestClientQuery(t *testing.T) {
+	t.Parallel()
+	opts := Options{Protocol: INBAC, F: 1, Timeout: 25 * time.Millisecond}
+	_, _, c := hostedDeployment(t, 3, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	reply, err := c.Query(ctx, 2, fakeFootprint{Payload: "ping"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, ok := reply.(fakeFootprint)
+	if !ok || fp.Payload != "ping-reply" {
+		t.Fatalf("reply = %#v, want ping-reply", reply)
+	}
+}
+
+func TestClientStageRefusedAndUnstage(t *testing.T) {
+	t.Parallel()
+	opts := Options{Protocol: INBAC, F: 1, Timeout: 25 * time.Millisecond}
+	_, fakes, c := hostedDeployment(t, 3, opts)
+	fakes[1].mu.Lock()
+	fakes[1].refuse = true
+	fakes[1].mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	const txID = "refused-tx"
+	if err := c.Stage(ctx, txID, 1, fakeFootprint{Payload: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stage(ctx, txID, 2, fakeFootprint{Payload: "b"}); err == nil {
+		t.Fatal("refused stage must error")
+	}
+	// The client walks back the successful sibling stage; the peer aborts it.
+	c.Unstage(txID, 1)
+	waitFor(t, "P1 abort of unstaged txn", func() bool {
+		return fakes[0].has(abortedList, txID)
+	})
+}
+
+func TestClientStageNonHostedPeer(t *testing.T) {
+	t.Parallel()
+	opts := Options{Protocol: INBAC, F: 1, Timeout: 25 * time.Millisecond}
+	addrs := reserveAddrs(t, 2)
+	for i := 1; i <= 2; i++ {
+		p, err := NewPeer(i, addrs, ResourceFunc{}, opts) // not a HostedResource
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Close)
+	}
+	c, err := NewClient(3, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Stage(ctx, "tx", 1, fakeFootprint{}); err == nil {
+		t.Fatal("staging on a non-hosting peer must be refused")
+	}
+}
+
+// TestClientDeadCoordinatorResolves: a go sent to a crashed coordinator
+// must resolve the future with an error — never hang.
+func TestClientDeadCoordinatorResolves(t *testing.T) {
+	t.Parallel()
+	opts := Options{Protocol: INBAC, F: 1, Timeout: 5 * time.Millisecond}
+	peers, _, c := hostedDeployment(t, 3, opts)
+	peers[0].Close()
+
+	txn := c.SubmitAt(context.Background(), "doomed-tx", 1)
+	select {
+	case <-txn.Done():
+		if txn.Err() == nil {
+			t.Fatalf("dead coordinator: committed=%v with nil error", txn.Committed())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("future never resolved against a dead coordinator")
+	}
+}
+
+// TestStageTTLReclaim: a staged transaction whose go never arrives is
+// aborted by the peer's TTL, and a later begin for it is refused (poisoned).
+func TestStageTTLReclaim(t *testing.T) {
+	t.Parallel()
+	opts := Options{Protocol: INBAC, F: 1, Timeout: 2 * time.Millisecond} // TTL = 128ms
+	_, fakes, c := hostedDeployment(t, 3, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	const txID = "orphan-tx"
+	if err := c.Stage(ctx, txID, 1, fakeFootprint{Payload: "orphan"}); err != nil {
+		t.Fatal(err)
+	}
+	// No go: the client "crashes". The TTL must reclaim the stage.
+	waitFor(t, "stage TTL abort", func() bool {
+		return fakes[0].has(abortedList, txID)
+	})
+	// A pathologically late go for the poisoned txID must answer abort,
+	// not commit a transaction whose footprint was dropped.
+	txn := c.SubmitAt(ctx, txID, 1)
+	ok, err := txn.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("poisoned transaction committed after its stage was reclaimed")
+	}
+}

@@ -97,6 +97,11 @@ func NewCluster(resources []Resource, opts Options) (*Cluster, error) {
 		opts: opts, resources: resources, mesh: live.NewMesh(), stop: make(chan struct{}),
 		inflight: make(map[string]struct{}), finished: newBoundedSet(),
 	}
+	if opts.Net != nil {
+		sh := opts.Net.Shaper(time.Now())
+		c.mesh.Latency = sh.Delay
+		c.mesh.Drop = sh.Drop
+	}
 	c.qcond = sync.NewCond(&c.mu)
 	for i := 1; i <= n; i++ {
 		m := &member{

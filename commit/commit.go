@@ -84,6 +84,11 @@ func Protocols() []string {
 	return names
 }
 
+// Message is the payload type that crosses the transports — an alias of the
+// internal core.Message so layers above (kv footprints, custom hosted
+// resources) can speak it without importing internal packages.
+type Message = core.Message
+
 // Options configures a Cluster or Peer.
 type Options struct {
 	// Protocol defaults to INBAC.
@@ -103,6 +108,13 @@ type Options struct {
 	// CommitMany) run concurrently; submissions beyond the window queue in
 	// order. Defaults to 64. Synchronous Commit calls are not window-gated.
 	MaxInFlight int
+	// Net emulates a geo-distributed network: per-region one-way delays,
+	// jitter, and partition windows (see live.NamedProfile for the built-in
+	// profiles). It shapes the in-memory mesh of a Cluster and the outbound
+	// TCP links of a Peer or Client. When set, Timeout defaults to
+	// Net.SuggestedTimeout() instead of 50ms, so the protocol's U tracks
+	// the emulated network.
+	Net *live.NetProfile
 }
 
 func (o Options) withDefaults(n int) (Options, error) {
@@ -113,7 +125,11 @@ func (o Options) withDefaults(n int) (Options, error) {
 		o.F = 1
 	}
 	if o.Timeout == 0 {
-		o.Timeout = 50 * time.Millisecond
+		if o.Net != nil {
+			o.Timeout = o.Net.SuggestedTimeout()
+		} else {
+			o.Timeout = 50 * time.Millisecond
+		}
 	}
 	if o.MaxInFlight == 0 {
 		o.MaxInFlight = 64
@@ -163,6 +179,26 @@ type Resource interface {
 	// Abort discards the transaction; called exactly once iff the global
 	// decision is abort.
 	Abort(txID string)
+}
+
+// HostedResource is a Resource a Peer can expose to remote clients: Stage
+// receives a transaction's footprint (what the resource must validate at
+// Prepare and apply at Commit) ahead of the protocol run, and Query answers
+// one-shot reads outside any transaction. A kv shard is the canonical
+// implementation; any resource wanting remote clients implements it the
+// same way.
+//
+// The contract: a staged transaction is eventually resolved — by the commit
+// protocol's Commit/Abort callback, by an explicit client unstage, or by
+// the peer's stage TTL aborting a transaction whose protocol run never
+// arrived (coordinator crashed between stage and begin).
+type HostedResource interface {
+	Resource
+	// Stage hands the resource txID's footprint before the protocol runs.
+	// An error refuses the stage (the client aborts the transaction).
+	Stage(txID string, m Message) error
+	// Query answers a read-only request outside any transaction.
+	Query(m Message) (Message, error)
 }
 
 // ResourceFunc adapts plain functions to Resource. Nil fields default to

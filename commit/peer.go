@@ -2,6 +2,7 @@ package commit
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -21,6 +22,32 @@ import (
 // grace, a straggler sees this peer as crashed for that instance — the
 // failure model the protocols already tolerate.
 const retireGraceUnits = 8
+
+// stageTTLUnits bounds how long a staged-but-never-begun transaction may
+// hold its footprint (intents, staged writes) on a hosted resource: if the
+// protocol run has not arrived within stageTTLUnits timeout units — the
+// client crashed between stage and go, or the go was partitioned away —
+// the peer aborts the stage and poisons the txID so a pathologically late
+// begin votes abort instead of vacuously committing a transaction whose
+// writes were dropped. Generous relative to the client's stage→go hop
+// (one WAN round trip).
+const stageTTLUnits = 64
+
+// coordinateUnits bounds a client-initiated commit run on the coordinating
+// peer, so a resultMsg always goes back even if the protocol cannot
+// terminate (e.g. no correct majority): far above any decision time, which
+// is a few timeout units.
+const coordinateUnits = 128
+
+// NewPeer input validation errors, matchable with errors.Is.
+var (
+	// ErrNilResource reports a nil Resource.
+	ErrNilResource = errors.New("commit: resource must not be nil")
+	// ErrPeerID reports a peer id outside 1..len(addrs).
+	ErrPeerID = errors.New("commit: peer id out of range")
+	// ErrBadAddrs reports an empty or duplicated peer address.
+	ErrBadAddrs = errors.New("commit: bad peer address list")
+)
 
 // beginPath is the reserved envelope path announcing a transaction to peers
 // that have not started an instance for it yet.
@@ -67,9 +94,129 @@ func (decideMsg) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
 	return decideMsg{V: core.Value(d.Uvarint())}, d.Err()
 }
 
+// The client-facing paths: a commit.Client (not itself a protocol
+// participant) speaks to peers over these reserved paths to stage
+// footprints on hosted resources, start the commit, read outside
+// transactions, and learn outcomes. See client.go for the driving side.
+const (
+	helloPath      = "\x00hello"      // helloMsg: announce the client's listen address
+	stagePath      = "\x00stage"      // payload is the resource's own footprint message
+	stageAckPath   = "\x00stageack"   // stageAckMsg: stage accepted or refused
+	goPath         = "\x00go"         // goMsg: all stages acked; run the commit
+	resultPath     = "\x00result"     // resultMsg: the coordinator's local decision
+	queryPath      = "\x00query"      // payload is the resource's read request
+	queryReplyPath = "\x00queryreply" // payload is the resource's read reply
+	unstagePath    = "\x00unstage"    // unstageMsg: drop a staged, never-begun txn
+)
+
+// helloMsg announces the sending client's listen address so the peer can
+// route replies (peers are booted knowing only each other).
+type helloMsg struct {
+	Addr string
+}
+
+// Kind implements core.Message.
+func (helloMsg) Kind() string { return "HELLO" }
+
+// WireID implements core.Wire (commit block, ID 3).
+func (helloMsg) WireID() uint16 { return 3 }
+
+// MarshalWire implements core.Wire.
+func (m helloMsg) MarshalWire(b []byte) []byte { return wire.AppendString(b, m.Addr) }
+
+// UnmarshalWire implements core.Wire.
+func (helloMsg) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return helloMsg{Addr: d.String()}, d.Err()
+}
+
+// stageAckMsg acknowledges a stage; Err != "" means the resource refused it
+// and the client must abort the transaction.
+type stageAckMsg struct {
+	Err string
+}
+
+// Kind implements core.Message.
+func (stageAckMsg) Kind() string { return "STAGEACK" }
+
+// WireID implements core.Wire (commit block, ID 4).
+func (stageAckMsg) WireID() uint16 { return 4 }
+
+// MarshalWire implements core.Wire.
+func (m stageAckMsg) MarshalWire(b []byte) []byte { return wire.AppendString(b, m.Err) }
+
+// UnmarshalWire implements core.Wire.
+func (stageAckMsg) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return stageAckMsg{Err: d.String()}, d.Err()
+}
+
+// goMsg asks the receiving peer to coordinate the commit of Envelope.TxID
+// (every involved peer has acked its stage) and reply with resultMsg.
+type goMsg struct{}
+
+// Kind implements core.Message.
+func (goMsg) Kind() string { return "GO" }
+
+// WireID implements core.Wire (commit block, ID 5).
+func (goMsg) WireID() uint16 { return 5 }
+
+// MarshalWire implements core.Wire.
+func (goMsg) MarshalWire(b []byte) []byte { return b }
+
+// UnmarshalWire implements core.Wire.
+func (goMsg) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return goMsg{}, d.Err()
+}
+
+// resultMsg reports the coordinator's local decision for Envelope.TxID back
+// to the client; Err != "" reports an infrastructure failure instead.
+type resultMsg struct {
+	V   core.Value
+	Err string
+}
+
+// Kind implements core.Message.
+func (resultMsg) Kind() string { return "RESULT" }
+
+// WireID implements core.Wire (commit block, ID 6).
+func (resultMsg) WireID() uint16 { return 6 }
+
+// MarshalWire implements core.Wire.
+func (m resultMsg) MarshalWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(m.V))
+	return wire.AppendString(b, m.Err)
+}
+
+// UnmarshalWire implements core.Wire.
+func (resultMsg) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return resultMsg{V: core.Value(d.Uvarint()), Err: d.String()}, d.Err()
+}
+
+// unstageMsg drops a staged transaction that will never begin (a sibling
+// stage was refused). Only honored before the protocol instance starts.
+type unstageMsg struct{}
+
+// Kind implements core.Message.
+func (unstageMsg) Kind() string { return "UNSTAGE" }
+
+// WireID implements core.Wire (commit block, ID 7).
+func (unstageMsg) WireID() uint16 { return 7 }
+
+// MarshalWire implements core.Wire.
+func (unstageMsg) MarshalWire(b []byte) []byte { return b }
+
+// UnmarshalWire implements core.Wire.
+func (unstageMsg) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return unstageMsg{}, d.Err()
+}
+
 func init() {
 	live.RegisterWire(beginMsg{})
 	live.RegisterWire(decideMsg{})
+	live.RegisterWire(helloMsg{})
+	live.RegisterWire(stageAckMsg{})
+	live.RegisterWire(goMsg{})
+	live.RegisterWire(resultMsg{})
+	live.RegisterWire(unstageMsg{})
 }
 
 // Peer is one participant in its own address space, connected to the others
@@ -96,6 +243,11 @@ type Peer struct {
 	reports     map[string][]peerReport
 	reportOrder []string
 
+	// Hosting mode (res implements HostedResource): staged remembers
+	// transactions whose footprint arrived but whose protocol run has not,
+	// for the stage-TTL reclaim.
+	staged map[string]struct{}
+
 	debug *http.Server // optional observability endpoint (ServeDebug)
 }
 
@@ -106,18 +258,29 @@ type peerReport struct {
 }
 
 // NewPeer starts participant id (1-based); addrs[i-1] is Pi's address, and
-// this peer listens on addrs[id-1].
+// this peer listens on addrs[id-1]. If resource implements HostedResource,
+// the peer also serves remote clients (see Client): footprint staging,
+// client-initiated commits, and one-shot queries.
 func NewPeer(id int, addrs []string, resource Resource, opts Options) (*Peer, error) {
+	if resource == nil {
+		return nil, fmt.Errorf("%w (peer %d)", ErrNilResource, id)
+	}
+	if err := validateAddrs(addrs); err != nil {
+		return nil, err
+	}
 	opts, err := opts.withDefaults(len(addrs))
 	if err != nil {
 		return nil, err
 	}
 	if id < 1 || id > len(addrs) {
-		return nil, fmt.Errorf("commit: peer id %d out of range 1..%d", id, len(addrs))
+		return nil, fmt.Errorf("%w: %d not in 1..%d", ErrPeerID, id, len(addrs))
 	}
 	tcp, err := live.NewTCP(core.ProcessID(id), addrs)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Net != nil {
+		tcp.SetShaper(opts.Net.Shaper(time.Now()))
 	}
 	p := &Peer{
 		id: core.ProcessID(id), n: len(addrs), opts: opts, res: resource, tcp: tcp,
@@ -126,21 +289,61 @@ func NewPeer(id int, addrs []string, resource Resource, opts Options) (*Peer, er
 		started:   make(map[string]bool),
 		decided:   make(map[string]core.Value),
 		reports:   make(map[string][]peerReport),
+		staged:    make(map[string]struct{}),
 	}
 	tcp.SetHandler(p.deliver)
 	return p, nil
+}
+
+// validateAddrs rejects empty and duplicated peer addresses up front — both
+// would otherwise surface as baffling runtime behavior (dials to "", two
+// peers stealing each other's traffic).
+func validateAddrs(addrs []string) error {
+	seen := make(map[string]int, len(addrs))
+	for i, a := range addrs {
+		if a == "" {
+			return fmt.Errorf("%w: addrs[%d] is empty", ErrBadAddrs, i)
+		}
+		if j, ok := seen[a]; ok {
+			return fmt.Errorf("%w: addrs[%d] and addrs[%d] are both %q", ErrBadAddrs, j, i, a)
+		}
+		seen[a] = i
+	}
+	return nil
 }
 
 // Addr returns the peer's bound listen address.
 func (p *Peer) Addr() string { return p.tcp.Addr() }
 
 func (p *Peer) deliver(e live.Envelope) {
-	if e.Path == decidePath {
+	switch e.Path {
+	case decidePath:
 		// Decision announcements are cross-checked even for transactions we
 		// already retired: the cached outcome still answers.
 		if m, ok := e.Msg.(decideMsg); ok {
 			p.observeDecision(e.From, e.TxID, m.V)
 		}
+		return
+	case helloPath:
+		// A client announcing its reply route (possibly refreshing it after
+		// a restart on a new port).
+		if m, ok := e.Msg.(helloMsg); ok {
+			p.tcp.SetRoute(e.From, m.Addr)
+		}
+		return
+	case stagePath:
+		p.handleStage(e)
+		return
+	case goPath:
+		// Coordinating a commit blocks until the decision; never stall the
+		// transport's read loop on it.
+		go p.handleGo(e)
+		return
+	case queryPath:
+		p.handleQuery(e)
+		return
+	case unstagePath:
+		p.handleUnstage(e)
 		return
 	}
 	p.mu.Lock()
@@ -169,6 +372,116 @@ func (p *Peer) deliver(e live.Envelope) {
 	inst.Deliver(e)
 }
 
+// handleStage hands a remote client's footprint to the hosted resource and
+// acks the outcome (the client collects every involved peer's ack before it
+// sends go, so a begin can never overtake its footprint).
+func (p *Peer) handleStage(e live.Envelope) {
+	var ack stageAckMsg
+	hosted, ok := p.res.(HostedResource)
+	if !ok {
+		ack.Err = "peer does not host a stageable resource"
+	} else {
+		p.mu.Lock()
+		_, done := p.decided[e.TxID]
+		started := p.started[e.TxID]
+		closed := p.closed
+		p.mu.Unlock()
+		switch {
+		case closed:
+			ack.Err = "peer closed"
+		case done || started:
+			ack.Err = "transaction already running or decided"
+		default:
+			if err := hosted.Stage(e.TxID, e.Msg); err != nil {
+				ack.Err = err.Error()
+			} else {
+				p.mu.Lock()
+				p.staged[e.TxID] = struct{}{}
+				p.mu.Unlock()
+				txID := e.TxID
+				time.AfterFunc(stageTTLUnits*p.opts.Timeout, func() { p.reclaimStage(txID) })
+			}
+		}
+	}
+	_ = p.tcp.Send(live.Envelope{TxID: e.TxID, From: p.id, To: e.From, Path: stageAckPath, Msg: ack})
+}
+
+// handleGo coordinates the commit of a client's transaction and reports the
+// local decision (or the infrastructure failure) back. The run is bounded so
+// a result always goes out — the client must observe abort-or-commit-or-
+// error, never a hang.
+func (p *Peer) handleGo(e live.Envelope) {
+	ctx, cancel := context.WithTimeout(context.Background(), coordinateUnits*p.opts.Timeout)
+	defer cancel()
+	ok, err := p.Commit(ctx, e.TxID)
+	res := resultMsg{V: core.Abort}
+	if ok {
+		res.V = core.Commit
+	}
+	if err != nil {
+		res.Err = err.Error()
+	}
+	_ = p.tcp.Send(live.Envelope{TxID: e.TxID, From: p.id, To: e.From, Path: resultPath, Msg: res})
+}
+
+// handleQuery answers a one-shot read against the hosted resource. Errors
+// the resource cannot encode in its reply message degrade to silence (the
+// client's context expires), the same as a crashed peer.
+func (p *Peer) handleQuery(e live.Envelope) {
+	hosted, ok := p.res.(HostedResource)
+	if !ok {
+		return
+	}
+	reply, err := hosted.Query(e.Msg)
+	if err != nil || reply == nil {
+		return
+	}
+	_ = p.tcp.Send(live.Envelope{TxID: e.TxID, From: p.id, To: e.From, Path: queryReplyPath, Msg: reply})
+}
+
+// handleUnstage drops a staged transaction on the client's request (a
+// sibling stage was refused, so the transaction will never begin).
+func (p *Peer) handleUnstage(e live.Envelope) {
+	p.dropStage(e.TxID)
+}
+
+// reclaimStage is the stage TTL firing: a footprint whose protocol run
+// never arrived is aborted, bounding how long a dead client's intents can
+// block other transactions.
+func (p *Peer) reclaimStage(txID string) {
+	p.dropStage(txID)
+}
+
+// dropStage aborts a staged, never-begun transaction and poisons its txID
+// with a cached abort outcome — a pathologically late begin must be dropped
+// (and answered abort from the cache), not allowed to vacuously commit a
+// transaction whose staged writes were just thrown away. No-op once the
+// protocol instance started or decided: the protocol owns the outcome then.
+func (p *Peer) dropStage(txID string) {
+	p.mu.Lock()
+	if _, ok := p.staged[txID]; !ok {
+		p.mu.Unlock()
+		return
+	}
+	delete(p.staged, txID)
+	if p.started[txID] {
+		p.mu.Unlock()
+		return
+	}
+	if _, done := p.decided[txID]; done {
+		p.mu.Unlock()
+		return
+	}
+	p.decided[txID] = core.Abort
+	p.retired = append(p.retired, txID)
+	if len(p.retired) > retiredHistory {
+		delete(p.decided, p.retired[0])
+		p.retired = p.retired[1:]
+	}
+	p.mu.Unlock()
+	p.res.Abort(txID)
+}
+
 // retire forgets a decided transaction's instance and buffered stragglers,
 // remembering its outcome (bounded by retiredHistory) so late messages are
 // dropped and Wait/Commit replays still answer from the cache.
@@ -178,6 +491,7 @@ func (p *Peer) retire(txID string, v core.Value) {
 	delete(p.instances, txID)
 	delete(p.pending, txID)
 	delete(p.started, txID)
+	delete(p.staged, txID)
 	if _, ok := p.decided[txID]; ok {
 		return
 	}
@@ -210,6 +524,7 @@ func (p *Peer) ensureInstance(txID string) *live.Instance {
 		return nil
 	}
 	p.started[txID] = true
+	delete(p.staged, txID) // the protocol owns the footprint's fate now
 	p.mu.Unlock()
 
 	// Prepare outside the lock: it is user code and may take time.

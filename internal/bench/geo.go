@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"atomiccommit/commit"
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/live"
+	"atomiccommit/internal/obs"
+	"atomiccommit/kv"
+)
+
+// KVGeoRow is one region's view of the distributed kv store under a geo
+// latency profile: a client pinned to that region driving transactions
+// against shard peers spread across all regions, over real TCP sockets with
+// shaped cross-region delays.
+type KVGeoRow struct {
+	Protocol string `json:"protocol"`
+	Geo      string `json:"geo"`
+	Region   string `json:"region"`
+	Shards   int    `json:"shards"`
+	F        int    `json:"f"`
+
+	Txns      int     `json:"txns"`
+	Committed int     `json:"committed"`
+	Aborted   int     `json:"aborted"`
+	AbortRate float64 `json:"abortRate"`
+
+	TxnsPerSec float64       `json:"txnsPerSec"`
+	P50        time.Duration `json:"p50"`
+	P95        time.Duration `json:"p95"`
+	P99        time.Duration `json:"p99"`
+
+	// Abort attribution, as in KVRow: conflict counters split Prepare's
+	// no-votes by cause; TimingAborts counts all-yes transactions the
+	// protocol aborted anyway.
+	StaleReads    int64 `json:"staleReads"`
+	IntentClashes int64 `json:"intentClashes"`
+	TimingAborts  int64 `json:"timingAborts"`
+}
+
+// KVGeoConfig parameterizes the cross-region kv benchmark.
+type KVGeoConfig struct {
+	Protocol  string        // registry name; "" = "inbac"
+	Geo       string        // live profile name; "" = "us-eu-ap"
+	Shards    int           // shard (= peer) count; 0 = 4
+	F         int           // resilience; 0 = 1
+	Txns      int           // transactions per region; 0 = 48
+	Workers   int           // concurrent committers per region; 0 = 8
+	Keys      int           // keyspace size; 0 = 256
+	OpsPerTxn int           // operations per transaction; 0 = 3
+	Theta     float64       // Zipf skew of the key choice; 0 = uniform
+	ReadFrac  float64       // read fraction; 0 = default 0.5, negative = write-only
+	Timeout   time.Duration // protocol timeout unit; 0 = profile's SuggestedTimeout
+	Seed      int64         // workload seed; default 1
+}
+
+func (c KVGeoConfig) withDefaults() KVGeoConfig {
+	if c.Protocol == "" {
+		c.Protocol = "inbac"
+	}
+	if c.Geo == "" {
+		c.Geo = "us-eu-ap"
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.F == 0 {
+		c.F = 1
+	}
+	if c.Txns == 0 {
+		c.Txns = 48
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.Keys == 0 {
+		c.Keys = 256
+	}
+	if c.OpsPerTxn == 0 {
+		c.OpsPerTxn = 3
+	}
+	if c.ReadFrac == 0 {
+		c.ReadFrac = 0.5
+	} else if c.ReadFrac < 0 {
+		c.ReadFrac = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// KVGeo runs the distributed kv store under a geo latency profile: one
+// shard per commit.Peer on loopback TCP, link delays shaped per the
+// profile's region matrix, and one client per region (run sequentially, so
+// the rows are directly comparable) committing a contended workload. The
+// per-region rows expose what geography does to a commit protocol: a
+// client's latency percentiles are dominated by its round-trips to the
+// coordinator and the coordinator's to the farthest voter.
+func KVGeo(cfg KVGeoConfig) ([]KVGeoRow, string, error) {
+	cfg = cfg.withDefaults()
+	profile, err := live.NamedProfile(cfg.Geo)
+	if err != nil {
+		return nil, "", fmt.Errorf("bench: %w", err)
+	}
+	if cfg.F > cfg.Shards-1 {
+		return nil, "", fmt.Errorf("bench: need f <= shards-1 (got shards=%d f=%d)", cfg.Shards, cfg.F)
+	}
+
+	// Pin every region's client before anything boots: the profile pointer
+	// is shared with the peers' shapers, so the pin table must be complete
+	// before shaped traffic starts.
+	for ri, region := range profile.Regions {
+		profile.Pin(core.ProcessID(cfg.Shards+1+ri), region)
+	}
+	opts := commit.Options{
+		Protocol: commit.Protocol(cfg.Protocol), F: cfg.F,
+		Timeout: cfg.Timeout, MaxInFlight: cfg.Workers, Net: profile,
+	}
+
+	addrs, err := loopbackAddrs(cfg.Shards)
+	if err != nil {
+		return nil, "", err
+	}
+	peers := make([]*commit.Peer, cfg.Shards)
+	defer func() {
+		for _, p := range peers {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}()
+	for i := 0; i < cfg.Shards; i++ {
+		p, err := kv.ServeShard(i, addrs, opts)
+		if err != nil {
+			return nil, "", fmt.Errorf("bench: shard %d: %w", i, err)
+		}
+		peers[i] = p
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Minute)
+	defer cancel()
+	var rows []KVGeoRow
+	for ri, region := range profile.Regions {
+		row, err := kvGeoRegion(ctx, cfg, profile, opts, addrs, ri, region)
+		if err != nil {
+			return nil, "", err
+		}
+		rows = append(rows, row)
+	}
+
+	var t table
+	t.title(fmt.Sprintf(
+		"KV cross-region sweep (%s on %q, shards=%d f=%d, %d txns/region, %d workers, %d keys, theta=%.2f, %d ops/txn, %.0f%% reads)",
+		cfg.Protocol, cfg.Geo, cfg.Shards, cfg.F, cfg.Txns, cfg.Workers, cfg.Keys, cfg.Theta, cfg.OpsPerTxn, 100*cfg.ReadFrac))
+	t.row("%-8s %10s %8s %9s %12s %12s %12s %7s %8s %8s", "region", "txn/s", "aborts", "abort%", "p50", "p95", "p99", "stale", "intent", "timing")
+	for _, r := range rows {
+		t.row("%-8s %10.1f %8d %8.1f%% %12s %12s %12s %7d %8d %8d",
+			r.Region, r.TxnsPerSec, r.Aborted, 100*r.AbortRate,
+			r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond), r.P99.Round(time.Millisecond),
+			r.StaleReads, r.IntentClashes, r.TimingAborts)
+	}
+	t.blank()
+	t.row("One client per region commits against shard peers spread round-robin across all regions")
+	t.row("(clients pinned to their region; link delays per the profile's one-way matrix). Latency is")
+	t.row("dominated by the client's distance to its footprint's owners and the coordinator's distance")
+	t.row("to the farthest voter; the coordinator is chosen in the client's region when possible.")
+	return rows, t.String(), nil
+}
+
+// kvGeoRegion runs one region's client against the shared peer deployment.
+func kvGeoRegion(ctx context.Context, cfg KVGeoConfig, profile *live.NetProfile, opts commit.Options, addrs []string, ri int, region string) (KVGeoRow, error) {
+	s, err := kv.OpenRemote(cfg.Shards+1+ri, addrs, opts)
+	if err != nil {
+		return KVGeoRow{}, fmt.Errorf("bench: client %s: %w", region, err)
+	}
+	defer s.Close()
+
+	stale0 := obs.M.CounterValue("kv.conflict.stale_read")
+	intent0 := obs.M.CounterValue("kv.conflict.intent")
+	timing0 := obs.M.CounterValue("commit.abort.timing." + cfg.Protocol)
+	stats, err := kv.Run(ctx, s, kv.Workload{
+		Keys: cfg.Keys, Theta: cfg.Theta, ReadFrac: cfg.ReadFrac, OpsPerTxn: cfg.OpsPerTxn,
+	}, kv.RunConfig{Txns: cfg.Txns, Workers: cfg.Workers, Seed: cfg.Seed + int64(ri)})
+	if err != nil {
+		return KVGeoRow{}, fmt.Errorf("bench: region %s: %w", region, err)
+	}
+	return KVGeoRow{
+		Protocol: cfg.Protocol, Geo: cfg.Geo, Region: region,
+		Shards: cfg.Shards, F: cfg.F,
+		Txns: cfg.Txns, Committed: stats.Committed, Aborted: stats.Aborted,
+		AbortRate:  stats.AbortRate(),
+		TxnsPerSec: stats.TxnsPerSec(),
+		P50:        stats.Percentile(0.50),
+		P95:        stats.Percentile(0.95),
+		P99:        stats.Percentile(0.99),
+
+		StaleReads:    obs.M.CounterValue("kv.conflict.stale_read") - stale0,
+		IntentClashes: obs.M.CounterValue("kv.conflict.intent") - intent0,
+		TimingAborts:  obs.M.CounterValue("commit.abort.timing."+cfg.Protocol) - timing0,
+	}, nil
+}
+
+// loopbackAddrs reserves n distinct loopback addresses by binding and
+// releasing ephemeral ports.
+func loopbackAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("bench: reserve addr: %w", err)
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}

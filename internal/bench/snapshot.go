@@ -23,11 +23,16 @@ const SnapshotSchema = 1
 // never parsed.
 type Snapshot struct {
 	Schema    int    `json:"schema"`
-	Kind      string `json:"kind"` // "throughput"
+	Kind      string `json:"kind"` // "throughput" or "kv-geo"
 	Runtime   string `json:"runtime"`
 	GoVersion string `json:"go"`
 
-	Rows []ThroughputRow `json:"rows"`
+	Rows []ThroughputRow `json:"rows,omitempty"`
+
+	// KVRows holds the per-region cells of a "kv-geo" snapshot (the
+	// distributed kv store under a geo latency profile); empty for
+	// throughput snapshots.
+	KVRows []KVGeoRow `json:"kvRows,omitempty"`
 
 	// Send characterizes the transport hot path, independent of protocol.
 	Send *SendStats `json:"send,omitempty"`
@@ -123,6 +128,15 @@ func NewSnapshot(runtimeName string, rows []ThroughputRow, send *SendStats) Snap
 	return Snapshot{
 		Schema: SnapshotSchema, Kind: "throughput", Runtime: runtimeName,
 		GoVersion: runtime.Version(), Rows: rows, Send: send,
+	}
+}
+
+// NewKVGeoSnapshot assembles a kv-geo snapshot (always the tcp runtime:
+// geo profiles only shape real sockets).
+func NewKVGeoSnapshot(rows []KVGeoRow) Snapshot {
+	return Snapshot{
+		Schema: SnapshotSchema, Kind: "kv-geo", Runtime: "tcp",
+		GoVersion: runtime.Version(), KVRows: rows,
 	}
 }
 

@@ -66,13 +66,14 @@ const (
 // thousands of in-flight envelopes pays one syscall per frame rather than
 // one per message; a lone envelope is still flushed immediately.
 type TCP struct {
-	id    core.ProcessID
-	addrs map[core.ProcessID]string
+	id core.ProcessID
 
 	ln      net.Listener
 	handler func(Envelope)
 
 	mu      sync.Mutex
+	addrs   map[core.ProcessID]string
+	shaper  LinkShaper
 	conns   map[core.ProcessID]*tcpConn
 	inbound map[net.Conn]struct{}
 	closed  bool
@@ -141,6 +142,38 @@ func (t *TCP) SetHandler(h func(Envelope)) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.handler = h
+}
+
+// SetShaper installs a link shaper on this process's outbound envelopes
+// (see NetProfile.Shaper). A zero LinkShaper removes shaping. Envelopes a
+// shaper delays are held in timers and enqueued late; envelopes it drops
+// vanish — to the receiver either looks like the network being slow or the
+// sender being crashed, the two failure modes the protocols already absorb.
+func (t *TCP) SetShaper(s LinkShaper) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.shaper = s
+}
+
+// SetRoute adds or replaces the address for peer id, evicting any live
+// connection so the next Send dials afresh. Clients announce themselves to
+// peers this way: a peer only ever has the routes it was booted with plus
+// the ones announced to it.
+func (t *TCP) SetRoute(id core.ProcessID, addr string) {
+	t.mu.Lock()
+	stale := t.conns[id]
+	changed := t.addrs[id] != addr
+	t.addrs[id] = addr
+	if !changed {
+		stale = nil // same address: keep the live conn
+	} else if stale != nil {
+		delete(t.conns, id)
+		mEvictions.Add(1)
+	}
+	t.mu.Unlock()
+	if stale != nil {
+		stale.shut()
+	}
 }
 
 func (t *TCP) acceptLoop() {
@@ -232,6 +265,31 @@ func (t *TCP) readLoop(c net.Conn) {
 // writes. A connection with a sticky error is evicted and redialed here, so
 // one broken socket never eats sends forever.
 func (t *TCP) Send(e Envelope) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	shaper := t.shaper
+	t.mu.Unlock()
+
+	if shaper.Drop != nil && shaper.Drop(e) {
+		mShapedDropped.Add(1)
+		return nil // partitioned: silence, exactly like a crashed peer
+	}
+	if shaper.Delay != nil {
+		if d := shaper.Delay(e); d > 0 {
+			mShapedDelayed.Add(1)
+			time.AfterFunc(d, func() { t.enqueue(e) })
+			return nil
+		}
+	}
+	return t.enqueue(e)
+}
+
+// enqueue is Send past the shaper: encode into the connection's pending
+// buffer, dialing (or redialing) as needed.
+func (t *TCP) enqueue(e Envelope) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -347,7 +405,9 @@ func (t *TCP) forget(to core.ProcessID, conn *tcpConn) {
 }
 
 func (t *TCP) dial(to core.ProcessID) (*tcpConn, error) {
+	t.mu.Lock()
 	addr, ok := t.addrs[to]
+	t.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("live: unknown peer %v", to)
 	}

@@ -16,7 +16,7 @@ import (
 // information on the wire, so IDs are allocated in per-package blocks and
 // never renumbered:
 //
-//	 1..2    commit (beginMsg, decideMsg)
+//	 1..7    commit (beginMsg, decideMsg, hello/stage/go/result/unstage)
 //	 8..14   internal/consensus (incl. flooding)
 //	16..20   protocols/inbac
 //	24..26   protocols/twopc
@@ -29,6 +29,7 @@ import (
 //	62..65   protocols/anbac
 //	68..69   protocols/hubnbac
 //	72..76   protocols/fullnbac
+//	80..82   kv (footprint, read, readReply)
 //	>= 240   reserved for tests
 //
 // Versioning: adding a message type takes a fresh ID; removing one retires

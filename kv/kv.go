@@ -3,11 +3,10 @@
 // workload that makes abort behavior real.
 //
 // The store partitions the keyspace across shards by key hash; every shard
-// is one commit.Resource participant of an in-memory commit.Cluster, so a
-// multi-shard transaction is one atomic-commit instance of whichever
-// protocol the store was opened with (INBAC by default). Concurrency
-// control is Helios-style conflict voting from the paper's introduction,
-// per key:
+// is one commit participant, so a multi-shard transaction is one
+// atomic-commit instance of whichever protocol the store was opened with
+// (INBAC by default). Concurrency control is Helios-style conflict voting
+// from the paper's introduction, per key:
 //
 //   - A transaction buffers its reads (with the version observed) and
 //     writes client-side; nothing touches shard state until commit.
@@ -26,83 +25,125 @@
 // intents that exclude concurrent writers, so its effective execution point
 // is its commit.
 //
-// Transactions commit through Cluster.Submit, so thousands of them run
+// The store runs over either of two runtimes behind the same Txn API:
+//
+//   - Open hosts every shard in-process on a commit.Cluster (goroutine
+//     mesh). Reads and staging are function calls.
+//   - OpenRemote hosts no shards at all: each shard lives in its own
+//     commit.Peer process (see Serve), and the store talks to them over
+//     TCP through a commit.Client — reads become Query round-trips and
+//     Txn.Submit ships per-shard footprints to their owners before
+//     driving the commit remotely.
+//
+// Transactions commit through the Committer, so thousands of them run
 // concurrently under Options.MaxInFlight. See Workload and Run for the
 // built-in contention generator used by the benchmarks (commitbench -kv).
 package kv
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"hash/fnv"
-	"sync"
 	"sync/atomic"
 
 	"atomiccommit/commit"
-	"atomiccommit/internal/core"
-	"atomiccommit/internal/obs"
 )
 
-// Conflict metrics: why Prepare voted "no", split by cause. The commit
-// layer's abort counters say a vote aborted the transaction; these say
-// whether the vote was a stale read (a concurrent commit overwrote it) or a
-// key intent held by another transaction.
+// ErrTooFewShards reports an Open/OpenRemote call with fewer than 2 shards.
+// Every shard is one participant of the underlying commit protocol, which
+// is only defined for n >= 2; a single-shard store has no atomic-commit
+// problem to solve and should use a plain map.
+var ErrTooFewShards = errors.New("kv: a store needs at least 2 shards")
+
+// Committer is the commit-pipeline surface the store drives transactions
+// through. Both commit.Cluster (in-process mesh) and commit.Client
+// (TCP peers) satisfy it, which is what lets one Store implementation run
+// over either runtime.
+type Committer interface {
+	Submit(ctx context.Context, txID string) *commit.Txn
+	CommitMany(ctx context.Context, txIDs []string) ([]bool, error)
+	Close()
+}
+
 var (
-	mStaleRead = obs.M.Counter("kv.conflict.stale_read")
-	mIntent    = obs.M.Counter("kv.conflict.intent")
+	_ Committer = (*commit.Cluster)(nil)
+	_ Committer = (*commit.Client)(nil)
 )
 
-// traceIntent records an intent acquire/conflict in the flight recorder.
-// Shards are not processes, but the shard id (1-based, like ProcessID)
-// slots into the event's Proc field so a merged timeline shows which
-// partition objected.
-func (sh *shard) traceIntent(kind obs.EventKind, txID, key, note string) {
-	if !obs.Default.Enabled() {
-		return
-	}
-	obs.Default.Record(obs.Event{
-		Kind: kind, TxID: txID, Proc: core.ProcessID(sh.id + 1), Note: note + " " + key,
-	})
+// backend is the runtime-specific half of the store: how reads reach a
+// shard and how a transaction's footprints are staged before the commit
+// protocol runs.
+type backend interface {
+	// read returns key's latest committed value, presence, and version.
+	read(key string) (string, bool, uint64, error)
+	// submit stages fps (keyed by shard index) and starts the commit for
+	// txID. The returned cleanup — which may be nil — releases staged
+	// state if the protocol instance dies of an infrastructure error
+	// (Txn.Err != nil) and its Commit/Abort callbacks never fire.
+	submit(ctx context.Context, txID string, fps map[int]*footprint) (*commit.Txn, func(), error)
+}
+
+// footprint is a transaction's per-shard read and write set, split by
+// shardIndex at submit time.
+type footprint struct {
+	reads  map[string]uint64
+	writes map[string]write
 }
 
 // Store is a sharded transactional key-value store. All methods are safe
 // for concurrent use.
 type Store struct {
-	cluster *commit.Cluster
-	shards  []*shard
-	seq     atomic.Uint64
+	com      Committer
+	b        backend
+	nshards  int
+	proto    commit.Protocol
+	idPrefix string
+	seq      atomic.Uint64
+
+	// local holds the in-process shards of an Open store; nil for
+	// OpenRemote. Package tests reach shard internals through it.
+	local []*Shard
 }
 
-// Open creates a store with the given number of shards (>= 2: each shard is
-// one participant of the underlying commit cluster). opts selects the
-// commit protocol and its tuning; the zero Options means INBAC with the
-// package defaults.
+// Open creates a store hosting all shards in-process on a commit.Cluster.
+// shards must be >= 2 (ErrTooFewShards otherwise): each shard is one
+// participant of the commit protocol. opts selects the protocol and its
+// tuning; the zero Options means INBAC with the package defaults.
 func Open(shards int, opts commit.Options) (*Store, error) {
 	if shards < 2 {
-		return nil, fmt.Errorf("kv: need at least 2 shards (each shard is a commit participant), got %d", shards)
+		return nil, fmt.Errorf("%w: got %d (each shard is one commit participant, and the protocol needs n >= 2)", ErrTooFewShards, shards)
 	}
-	s := &Store{shards: make([]*shard, shards)}
+	local := make([]*Shard, shards)
 	rs := make([]commit.Resource, shards)
-	for i := range s.shards {
-		s.shards[i] = newShard(i)
-		rs[i] = s.shards[i]
+	for i := range local {
+		local[i] = NewShard(i)
+		rs[i] = local[i]
 	}
 	cl, err := commit.NewCluster(rs, opts)
 	if err != nil {
 		return nil, fmt.Errorf("kv: %w", err)
 	}
-	s.cluster = cl
-	return s, nil
+	return &Store{
+		com:      cl,
+		b:        &localBackend{com: cl, shards: local},
+		nshards:  shards,
+		proto:    protoOf(opts),
+		idPrefix: "kv-",
+		local:    local,
+	}, nil
 }
 
 // Close shuts the store down; in-flight transactions resolve with errors.
-func (s *Store) Close() { s.cluster.Close() }
+// For OpenRemote stores this closes the client side only — the shard
+// peers keep running.
+func (s *Store) Close() { s.com.Close() }
 
 // Shards returns the number of shards (= commit participants).
-func (s *Store) Shards() int { return len(s.shards) }
+func (s *Store) Shards() int { return s.nshards }
 
-// Cluster exposes the underlying commit cluster for tuning and failure
-// injection (e.g. Mesh latency) in tests and demos.
-func (s *Store) Cluster() *commit.Cluster { return s.cluster }
+// Protocol returns the commit protocol the store was opened with, for
+// benchmark and log labeling.
+func (s *Store) Protocol() commit.Protocol { return s.proto }
 
 // Txn starts a new transaction. The builder is not safe for concurrent use;
 // build and commit it from one goroutine (many transactions may of course
@@ -116,222 +157,64 @@ func (s *Store) Txn() *Txn {
 	}
 }
 
-// Get is a non-transactional read of the latest committed value.
+// Get is a non-transactional read of the latest committed value. Over a
+// remote runtime a failed read reports absent; use Read to see the error.
 func (s *Store) Get(key string) (string, bool) {
-	v, ok, _ := s.shardFor(key).readCommitted(key)
+	v, ok, _, err := s.b.read(key)
+	if err != nil {
+		return "", false
+	}
 	return v, ok
 }
 
-func (s *Store) shardFor(key string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return s.shards[int(h.Sum32()%uint32(len(s.shards)))]
+// Read is a non-transactional read that surfaces runtime errors (an
+// unreachable shard owner, a closed store). Local stores never error.
+func (s *Store) Read(key string) (string, bool, error) {
+	v, ok, _, err := s.b.read(key)
+	return v, ok, err
+}
+
+// shardFor returns the in-process shard owning key. Only valid for Open
+// stores; package tests use it to inspect shard internals.
+func (s *Store) shardFor(key string) *Shard {
+	return s.local[shardIndex(key, s.nshards)]
 }
 
 func (s *Store) nextTxID() string {
-	return fmt.Sprintf("kv-%d", s.seq.Add(1))
+	return fmt.Sprintf("%s%d", s.idPrefix, s.seq.Add(1))
 }
 
-// write is one buffered mutation: a value, or a tombstone.
-type write struct {
-	value     string
-	tombstone bool
-}
-
-// stagedTxn is a transaction's footprint on one shard, registered just
-// before the commit protocol runs and consumed by the Resource callbacks.
-type stagedTxn struct {
-	reads  map[string]uint64 // key -> version observed at read time
-	writes map[string]write
-	locked bool // Prepare acquired this transaction's intents
-}
-
-// lockState is the per-key intent table entry: at most one exclusive writer,
-// or any number of shared readers.
-type lockState struct {
-	writer  string
-	readers map[string]struct{}
-}
-
-// shard is one partition of the keyspace and one commit.Resource. Prepare,
-// Commit and Abort implement the contract described in the package comment.
-type shard struct {
-	id int
-
-	mu       sync.Mutex
-	data     map[string]string
-	versions map[string]uint64 // bumped on every committed write; survives deletes
-	staged   map[string]*stagedTxn
-	locks    map[string]*lockState
-}
-
-func newShard(id int) *shard {
-	return &shard{
-		id:       id,
-		data:     make(map[string]string),
-		versions: make(map[string]uint64),
-		staged:   make(map[string]*stagedTxn),
-		locks:    make(map[string]*lockState),
+func protoOf(opts commit.Options) commit.Protocol {
+	if opts.Protocol == "" {
+		return commit.INBAC
 	}
+	return opts.Protocol
 }
 
-// readCommitted returns the latest committed value and its version.
-func (sh *shard) readCommitted(key string) (string, bool, uint64) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	v, ok := sh.data[key]
-	return v, ok, sh.versions[key]
+// localBackend serves an Open store: shards are in-process, so reads and
+// staging are function calls and cleanup can unstage directly.
+type localBackend struct {
+	com    Committer
+	shards []*Shard
 }
 
-// stage registers a transaction's footprint ahead of Prepare. Keys in both
-// sets are treated as writes for locking purposes.
-func (sh *shard) stage(txID string, reads map[string]uint64, writes map[string]write) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	sh.staged[txID] = &stagedTxn{reads: reads, writes: writes}
+func (b *localBackend) read(key string) (string, bool, uint64, error) {
+	v, ok, ver := b.shards[shardIndex(key, len(b.shards))].readCommitted(key)
+	return v, ok, ver, nil
 }
 
-// unstage drops a transaction whose protocol instance resolved with an
-// infrastructure error (so Commit/Abort will never fire), releasing
-// whatever it held. Idempotent.
-func (sh *shard) unstage(txID string) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	sh.drop(txID)
-}
-
-// Prepare implements commit.Resource: validate read versions and acquire
-// every per-key intent, all-or-nothing. Any conflict — a stale read, a key
-// intent held by another transaction — is a "no" vote, which the commit
-// protocol turns into a global abort.
-func (sh *shard) Prepare(txID string) bool {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	st, ok := sh.staged[txID]
-	if !ok {
-		// This shard is not involved in the transaction; it has no reason
-		// to object.
-		return true
+func (b *localBackend) submit(ctx context.Context, txID string, fps map[int]*footprint) (*commit.Txn, func(), error) {
+	involved := make([]*Shard, 0, len(fps))
+	for i, fp := range fps {
+		sh := b.shards[i]
+		sh.stage(txID, fp.reads, fp.writes)
+		involved = append(involved, sh)
 	}
-	for key, ver := range st.reads {
-		if sh.versions[key] != ver {
-			// A concurrent transaction committed over our read.
-			mStaleRead.Add(1)
-			sh.traceIntent(obs.EvIntentConflict, txID, key, "stale-read")
-			return false
+	ct := b.com.Submit(ctx, txID)
+	cleanup := func() {
+		for _, sh := range involved {
+			sh.unstage(txID)
 		}
 	}
-	// Check the whole footprint first so acquisition is all-or-nothing: a
-	// doomed transaction must not pin keys while it waits to abort.
-	for key := range st.writes {
-		if l, held := sh.locks[key]; held {
-			if l.writer != "" && l.writer != txID {
-				mIntent.Add(1)
-				sh.traceIntent(obs.EvIntentConflict, txID, key, "write-write")
-				return false
-			}
-			for r := range l.readers {
-				if r != txID {
-					mIntent.Add(1)
-					sh.traceIntent(obs.EvIntentConflict, txID, key, "write-read")
-					return false
-				}
-			}
-		}
-	}
-	for key := range st.reads {
-		if _, isWrite := st.writes[key]; isWrite {
-			continue
-		}
-		if l, held := sh.locks[key]; held && l.writer != "" && l.writer != txID {
-			mIntent.Add(1)
-			sh.traceIntent(obs.EvIntentConflict, txID, key, "read-write")
-			return false
-		}
-	}
-	for key := range st.writes {
-		sh.lock(key).writer = txID
-		sh.traceIntent(obs.EvIntentAcquire, txID, key, "write")
-	}
-	for key := range st.reads {
-		if _, isWrite := st.writes[key]; isWrite {
-			continue
-		}
-		l := sh.lock(key)
-		if l.readers == nil {
-			l.readers = make(map[string]struct{})
-		}
-		l.readers[txID] = struct{}{}
-	}
-	st.locked = true
-	return true
-}
-
-func (sh *shard) lock(key string) *lockState {
-	l, ok := sh.locks[key]
-	if !ok {
-		l = &lockState{}
-		sh.locks[key] = l
-	}
-	return l
-}
-
-// Commit implements commit.Resource: apply the staged writes, bump
-// versions, release intents.
-func (sh *shard) Commit(txID string) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	st, ok := sh.staged[txID]
-	if !ok {
-		return
-	}
-	for key, w := range st.writes {
-		if w.tombstone {
-			delete(sh.data, key)
-		} else {
-			sh.data[key] = w.value
-		}
-		sh.versions[key]++
-	}
-	sh.drop(txID)
-}
-
-// Abort implements commit.Resource: drop the staged writes and release
-// intents.
-func (sh *shard) Abort(txID string) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	sh.drop(txID)
-}
-
-// drop removes a transaction's staged state and any intents it holds.
-// Callers hold sh.mu.
-func (sh *shard) drop(txID string) {
-	st, ok := sh.staged[txID]
-	if !ok {
-		return
-	}
-	delete(sh.staged, txID)
-	if !st.locked {
-		return
-	}
-	release := func(key string) {
-		l, held := sh.locks[key]
-		if !held {
-			return
-		}
-		if l.writer == txID {
-			l.writer = ""
-		}
-		delete(l.readers, txID)
-		if l.writer == "" && len(l.readers) == 0 {
-			delete(sh.locks, key)
-		}
-	}
-	for key := range st.writes {
-		release(key)
-	}
-	for key := range st.reads {
-		release(key)
-	}
+	return ct, cleanup, nil
 }

@@ -257,7 +257,7 @@ func TestNoStateLeaks(t *testing.T) {
 	if stats.Committed+stats.Aborted != 128 {
 		t.Fatalf("decided %d+%d, want 128", stats.Committed, stats.Aborted)
 	}
-	for i, sh := range s.shards {
+	for i, sh := range s.local {
 		sh.mu.Lock()
 		staged, locks := len(sh.staged), len(sh.locks)
 		sh.mu.Unlock()

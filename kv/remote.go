@@ -1,0 +1,144 @@
+// The distributed runtime: one Shard hosted per commit.Peer process, and a
+// client-side Store that reaches them over TCP through commit.Client.
+//
+// A remote transaction runs in three legs:
+//
+//  1. Reads are Query round-trips (readMsg -> readReplyMsg) to each key's
+//     shard owner, recording observed versions exactly like local reads.
+//  2. Submit ships per-shard footprints (footprintMsg) to their owners and
+//     waits for every stage ack — only then can the commit begin, so no
+//     shard can be asked to vote on a footprint it has not received.
+//  3. The client sends "go" to one coordinator peer (preferring one in its
+//     own region when a geo profile is configured) and the peers run the
+//     commit protocol among themselves; the client only learns the result.
+//
+// After "go" is sent the protocol owns the outcome: the client never
+// unstages, because a one-sided release could break atomicity. Footprints
+// orphaned by a client crash are reclaimed by the peers' stage TTL, which
+// also poisons the transaction ID so a pathologically late "go" answers
+// abort.
+
+package kv
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"atomiccommit/commit"
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/live"
+)
+
+// ServeShard hosts shard `index` (0-based) as commit peer index+1 listening
+// on addrs[index]. Run one per process — or several in one process for
+// tests — and point OpenRemote at the same addrs.
+func ServeShard(index int, addrs []string, opts commit.Options) (*commit.Peer, error) {
+	if len(addrs) < 2 {
+		return nil, fmt.Errorf("%w: got %d peers", ErrTooFewShards, len(addrs))
+	}
+	if index < 0 || index >= len(addrs) {
+		return nil, fmt.Errorf("kv: shard index %d out of range 0..%d", index, len(addrs)-1)
+	}
+	p, err := commit.NewPeer(index+1, addrs, NewShard(index), opts)
+	if err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	return p, nil
+}
+
+// OpenRemote creates a store whose shards are remote: addrs[i] is the
+// listen address of the peer hosting shard i (see ServeShard). clientID
+// must be outside the peer range 1..len(addrs) — use len(addrs)+1,
+// len(addrs)+2, ... for concurrent clients, and give every client a
+// distinct ID. opts must agree with the peers' (same protocol, same
+// timeout base, same Net profile) for the deployment to behave.
+func OpenRemote(clientID int, addrs []string, opts commit.Options) (*Store, error) {
+	if len(addrs) < 2 {
+		return nil, fmt.Errorf("%w: got %d peers", ErrTooFewShards, len(addrs))
+	}
+	cl, err := commit.NewClient(clientID, addrs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	return &Store{
+		com:      cl,
+		b:        &remoteBackend{client: cl, n: len(addrs), net: opts.Net},
+		nshards:  len(addrs),
+		proto:    protoOf(opts),
+		idPrefix: fmt.Sprintf("kv-c%d-", clientID),
+	}, nil
+}
+
+// remoteBackend reaches shards through a commit.Client over TCP.
+type remoteBackend struct {
+	client *commit.Client
+	n      int
+	net    *live.NetProfile
+}
+
+func (b *remoteBackend) read(key string) (string, bool, uint64, error) {
+	owner := shardIndex(key, b.n) + 1
+	reply, err := b.client.Query(nil, owner, readMsg{Keys: []string{key}})
+	if err != nil {
+		return "", false, 0, fmt.Errorf("shard owner P%d: %w", owner, err)
+	}
+	r, ok := reply.(readReplyMsg)
+	if !ok || len(r.Vals) != 1 || len(r.Oks) != 1 || len(r.Vers) != 1 {
+		return "", false, 0, fmt.Errorf("shard owner P%d: malformed read reply %T", owner, reply)
+	}
+	return r.Vals[0], r.Oks[0], r.Vers[0], nil
+}
+
+func (b *remoteBackend) submit(ctx context.Context, txID string, fps map[int]*footprint) (*commit.Txn, func(), error) {
+	idxs := make([]int, 0, len(fps))
+	for i := range fps {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+
+	// Stage at every involved owner in parallel and collect all acks
+	// before go: cross-connection ordering is not FIFO, so the commit must
+	// not start until every footprint has provably landed.
+	errs := make([]error, len(idxs))
+	var wg sync.WaitGroup
+	for j, i := range idxs {
+		wg.Add(1)
+		go func(j, i int) {
+			defer wg.Done()
+			if err := b.client.Stage(ctx, txID, i+1, footprintToMsg(fps[i])); err != nil {
+				errs[j] = fmt.Errorf("stage at P%d: %w", i+1, err)
+			}
+		}(j, i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Nothing has begun: walking back the sibling stages is safe
+			// (and the peers' stage TTL backstops any unstage we lose).
+			for _, i := range idxs {
+				b.client.Unstage(txID, i+1)
+			}
+			return nil, nil, fmt.Errorf("kv: %s: %w", txID, err)
+		}
+	}
+
+	// No cleanup func: once go is sent the peers own the staged state.
+	return b.client.SubmitAt(ctx, txID, b.coordinator(idxs)), nil, nil
+}
+
+// coordinator picks which involved peer drives the commit: one in the
+// client's own region when a geo profile is configured (saving a
+// cross-region round-trip on the go/result leg), else the lowest index.
+func (b *remoteBackend) coordinator(idxs []int) int {
+	if b.net != nil {
+		home := b.net.RegionOf(core.ProcessID(b.client.ID()))
+		for _, i := range idxs {
+			if b.net.RegionOf(core.ProcessID(i+1)) == home {
+				return i + 1
+			}
+		}
+	}
+	return idxs[0] + 1
+}

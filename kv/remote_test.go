@@ -1,0 +1,267 @@
+package kv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"atomiccommit/commit"
+)
+
+// kvAddrs grabs n distinct loopback addresses by binding and releasing
+// ephemeral ports (small reuse race, fine on loopback in tests).
+func kvAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// keyForShard returns a key that hashes to shard `want` of n.
+func keyForShard(t *testing.T, want, n int) string {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if shardIndex(k, n) == want {
+			return k
+		}
+	}
+	t.Fatalf("no key found for shard %d/%d", want, n)
+	return ""
+}
+
+// remoteDeployment boots n shard peers on real sockets plus a client store.
+func remoteDeployment(t *testing.T, n int, opts commit.Options) (*Store, []*commit.Peer, []string) {
+	t.Helper()
+	addrs := kvAddrs(t, n)
+	peers := make([]*commit.Peer, n)
+	for i := 0; i < n; i++ {
+		p, err := ServeShard(i, addrs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+		t.Cleanup(p.Close)
+	}
+	s, err := OpenRemote(n+1, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, peers, addrs
+}
+
+func TestRemoteOpenValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := Open(1, commit.Options{}); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("Open(1): err = %v, want ErrTooFewShards", err)
+	}
+	if _, err := OpenRemote(2, []string{"127.0.0.1:1"}, commit.Options{}); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("OpenRemote(1 addr): err = %v, want ErrTooFewShards", err)
+	}
+	if _, err := ServeShard(0, []string{"127.0.0.1:1"}, commit.Options{}); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("ServeShard(1 addr): err = %v, want ErrTooFewShards", err)
+	}
+	addrs := kvAddrs(t, 2)
+	if _, err := ServeShard(2, addrs, commit.Options{}); err == nil {
+		t.Fatal("ServeShard with index out of range must error")
+	}
+	// A client ID inside the peer range is refused at the commit layer.
+	if _, err := OpenRemote(1, addrs, commit.Options{}); !errors.Is(err, commit.ErrPeerID) {
+		t.Fatalf("OpenRemote(clientID=1): err = %v, want commit.ErrPeerID", err)
+	}
+}
+
+func TestProtocolAccessor(t *testing.T) {
+	t.Parallel()
+	s, err := Open(2, commit.Options{Timeout: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Protocol(); got != commit.INBAC {
+		t.Fatalf("default Protocol() = %q, want %q", got, commit.INBAC)
+	}
+	s2, err := Open(2, commit.Options{Protocol: commit.TwoPC, Timeout: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Protocol(); got != commit.TwoPC {
+		t.Fatalf("Protocol() = %q, want %q", got, commit.TwoPC)
+	}
+}
+
+// TestRemoteBankConservation is the distributed bank invariant: concurrent
+// transfer transactions from a TCP client against shard peers on real
+// sockets must conserve the total balance, whatever commits or aborts.
+func TestRemoteBankConservation(t *testing.T) {
+	t.Parallel()
+	opts := commit.Options{Protocol: commit.INBAC, F: 1, Timeout: 25 * time.Millisecond, MaxInFlight: 64}
+	s, _, _ := remoteDeployment(t, 3, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	const accounts = 8
+	const initial = 100
+	acct := func(i int) string { return fmt.Sprintf("acct-%d", i) }
+	for i := 0; i < accounts; i++ {
+		txn := s.Txn()
+		txn.Put(acct(i), strconv.Itoa(initial))
+		ok, err := txn.Commit(ctx)
+		if err != nil || !ok {
+			t.Fatalf("seeding %s: ok=%v err=%v", acct(i), ok, err)
+		}
+	}
+
+	const workers = 4
+	const perWorker = 20
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for k := 0; k < perWorker; k++ {
+				a, b := rng.Intn(accounts), rng.Intn(accounts)
+				if a == b {
+					continue
+				}
+				txn := s.Txn()
+				av, okA, errA := txn.Read(acct(a))
+				bv, okB, errB := txn.Read(acct(b))
+				if errA != nil || errB != nil || !okA || !okB {
+					continue // infra hiccup: abandon the builder
+				}
+				ai, _ := strconv.Atoi(av)
+				bi, _ := strconv.Atoi(bv)
+				amt := 1 + rng.Intn(5)
+				txn.Put(acct(a), strconv.Itoa(ai-amt))
+				txn.Put(acct(b), strconv.Itoa(bi+amt))
+				if ok, err := txn.Commit(ctx); ok && err == nil {
+					committed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if committed.Load() == 0 {
+		t.Fatal("no transfer committed")
+	}
+	sum := 0
+	for i := 0; i < accounts; i++ {
+		v, ok, err := s.Read(acct(i))
+		if err != nil || !ok {
+			t.Fatalf("final read %s: ok=%v err=%v", acct(i), ok, err)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("balance %s = %q", acct(i), v)
+		}
+		sum += n
+	}
+	if sum != accounts*initial {
+		t.Fatalf("money not conserved: sum=%d want=%d (%d transfers committed)", sum, accounts*initial, committed.Load())
+	}
+}
+
+// TestRemotePeerCrashAndRedial: a transaction against a crashed shard owner
+// must resolve (abort or error), never hang; after the peer restarts on the
+// same address, the client's lazy redial heals and transactions commit
+// again.
+func TestRemotePeerCrashAndRedial(t *testing.T) {
+	t.Parallel()
+	opts := commit.Options{Protocol: commit.INBAC, F: 1, Timeout: 10 * time.Millisecond}
+	addrs := kvAddrs(t, 2)
+	p0, err := ServeShard(0, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ServeShard(1, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p1.Close)
+	s, err := OpenRemote(3, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	k0 := keyForShard(t, 0, 2)
+	k1 := keyForShard(t, 1, 2)
+	seed := s.Txn()
+	seed.Put(k0, "1")
+	seed.Put(k1, "1")
+	if ok, err := seed.Commit(ctx); !ok || err != nil {
+		t.Fatalf("seed txn: ok=%v err=%v", ok, err)
+	}
+
+	p0.Close() // crash shard 0's owner mid-deployment
+
+	// Cross-shard transaction against the dead owner: the future must
+	// resolve — NBAC validity forbids commit without its vote.
+	txn := s.Txn()
+	txn.Put(k0, "2")
+	txn.Put(k1, "2")
+	done := make(chan struct{})
+	var ok bool
+	go func() {
+		defer close(done)
+		ok, err = txn.Commit(ctx)
+	}()
+	select {
+	case <-done:
+		if ok && err == nil {
+			t.Fatal("transaction committed although shard 0's owner was down")
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("transaction against a crashed peer never resolved")
+	}
+
+	// Restart on the same address; redial + hello heal both directions.
+	p0b, err := ServeShard(0, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p0b.Close)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		txn := s.Txn()
+		txn.Put(k0, "3")
+		txn.Put(k1, "3")
+		if ok, err := txn.Commit(ctx); ok && err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no transaction committed after the peer restarted")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if v, _, err := s.Read(k0); err != nil || v != "3" {
+		t.Fatalf("post-restart read: %q err=%v", v, err)
+	}
+}

@@ -1,0 +1,286 @@
+package kv
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"atomiccommit/commit"
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/obs"
+)
+
+// Conflict metrics: why Prepare voted "no", split by cause. The commit
+// layer's abort counters say a vote aborted the transaction; these say
+// whether the vote was a stale read (a concurrent commit overwrote it) or a
+// key intent held by another transaction.
+var (
+	mStaleRead = obs.M.Counter("kv.conflict.stale_read")
+	mIntent    = obs.M.Counter("kv.conflict.intent")
+)
+
+// shardIndex maps a key to its shard (0-based) among n shards. Every
+// client and every peer of one deployment must agree on n for the mapping
+// to be consistent.
+func shardIndex(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// write is one buffered mutation: a value, or a tombstone.
+type write struct {
+	value     string
+	tombstone bool
+}
+
+// stagedTxn is a transaction's footprint on one shard, registered just
+// before the commit protocol runs and consumed by the Resource callbacks.
+type stagedTxn struct {
+	reads  map[string]uint64 // key -> version observed at read time
+	writes map[string]write
+	locked bool // Prepare acquired this transaction's intents
+}
+
+// lockState is the per-key intent table entry: at most one exclusive writer,
+// or any number of shared readers.
+type lockState struct {
+	writer  string
+	readers map[string]struct{}
+}
+
+// Shard is one partition of the keyspace and one commit participant. It
+// implements commit.Resource (Prepare votes on conflicts, Commit/Abort
+// apply or drop the staged footprint) and commit.HostedResource (Stage
+// receives a remote client's footprint, Query answers reads), so a shard
+// runs identically inside a local Cluster and inside a commit.Peer process
+// reachable only over TCP.
+type Shard struct {
+	id int // 0-based; shard i is hosted by peer i+1 in a distributed store
+
+	mu       sync.Mutex
+	data     map[string]string
+	versions map[string]uint64 // bumped on every committed write; survives deletes
+	staged   map[string]*stagedTxn
+	locks    map[string]*lockState
+}
+
+// NewShard creates shard index (0-based). In a distributed store, shard i
+// is the resource of peer i+1.
+func NewShard(index int) *Shard {
+	return &Shard{
+		id:       index,
+		data:     make(map[string]string),
+		versions: make(map[string]uint64),
+		staged:   make(map[string]*stagedTxn),
+		locks:    make(map[string]*lockState),
+	}
+}
+
+// traceIntent records an intent acquire/conflict in the flight recorder.
+// Shards are not processes, but the shard id (1-based, like ProcessID)
+// slots into the event's Proc field so a merged timeline shows which
+// partition objected.
+func (sh *Shard) traceIntent(kind obs.EventKind, txID, key, note string) {
+	if !obs.Default.Enabled() {
+		return
+	}
+	obs.Default.Record(obs.Event{
+		Kind: kind, TxID: txID, Proc: core.ProcessID(sh.id + 1), Note: note + " " + key,
+	})
+}
+
+// readCommitted returns the latest committed value and its version.
+func (sh *Shard) readCommitted(key string) (string, bool, uint64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, ok := sh.data[key]
+	return v, ok, sh.versions[key]
+}
+
+// stage registers a transaction's footprint ahead of Prepare. Keys in both
+// sets are treated as writes for locking purposes.
+func (sh *Shard) stage(txID string, reads map[string]uint64, writes map[string]write) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.staged[txID] = &stagedTxn{reads: reads, writes: writes}
+}
+
+// unstage drops a transaction whose protocol instance resolved with an
+// infrastructure error (so Commit/Abort will never fire), releasing
+// whatever it held. Idempotent.
+func (sh *Shard) unstage(txID string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.drop(txID)
+}
+
+// Stage implements commit.HostedResource: a remote client's footprint for
+// txID, shipped as a footprintMsg, lands exactly where a local
+// Txn.Submit would have staged it.
+func (sh *Shard) Stage(txID string, m commit.Message) error {
+	fp, ok := m.(footprintMsg)
+	if !ok {
+		return fmt.Errorf("kv: shard %d: unexpected stage payload %T", sh.id, m)
+	}
+	reads, writes, err := fp.sets()
+	if err != nil {
+		return fmt.Errorf("kv: shard %d: %w", sh.id, err)
+	}
+	sh.stage(txID, reads, writes)
+	return nil
+}
+
+// Query implements commit.HostedResource: batched committed reads
+// (readMsg -> readReplyMsg) for remote clients building their read sets.
+func (sh *Shard) Query(m commit.Message) (commit.Message, error) {
+	rq, ok := m.(readMsg)
+	if !ok {
+		return nil, fmt.Errorf("kv: shard %d: unexpected query %T", sh.id, m)
+	}
+	reply := readReplyMsg{
+		Vals: make([]string, len(rq.Keys)),
+		Oks:  make([]bool, len(rq.Keys)),
+		Vers: make([]uint64, len(rq.Keys)),
+	}
+	for i, key := range rq.Keys {
+		reply.Vals[i], reply.Oks[i], reply.Vers[i] = sh.readCommitted(key)
+	}
+	return reply, nil
+}
+
+// Prepare implements commit.Resource: validate read versions and acquire
+// every per-key intent, all-or-nothing. Any conflict — a stale read, a key
+// intent held by another transaction — is a "no" vote, which the commit
+// protocol turns into a global abort.
+func (sh *Shard) Prepare(txID string) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.staged[txID]
+	if !ok {
+		// This shard is not involved in the transaction; it has no reason
+		// to object.
+		return true
+	}
+	for key, ver := range st.reads {
+		if sh.versions[key] != ver {
+			// A concurrent transaction committed over our read.
+			mStaleRead.Add(1)
+			sh.traceIntent(obs.EvIntentConflict, txID, key, "stale-read")
+			return false
+		}
+	}
+	// Check the whole footprint first so acquisition is all-or-nothing: a
+	// doomed transaction must not pin keys while it waits to abort.
+	for key := range st.writes {
+		if l, held := sh.locks[key]; held {
+			if l.writer != "" && l.writer != txID {
+				mIntent.Add(1)
+				sh.traceIntent(obs.EvIntentConflict, txID, key, "write-write")
+				return false
+			}
+			for r := range l.readers {
+				if r != txID {
+					mIntent.Add(1)
+					sh.traceIntent(obs.EvIntentConflict, txID, key, "write-read")
+					return false
+				}
+			}
+		}
+	}
+	for key := range st.reads {
+		if _, isWrite := st.writes[key]; isWrite {
+			continue
+		}
+		if l, held := sh.locks[key]; held && l.writer != "" && l.writer != txID {
+			mIntent.Add(1)
+			sh.traceIntent(obs.EvIntentConflict, txID, key, "read-write")
+			return false
+		}
+	}
+	for key := range st.writes {
+		sh.lock(key).writer = txID
+		sh.traceIntent(obs.EvIntentAcquire, txID, key, "write")
+	}
+	for key := range st.reads {
+		if _, isWrite := st.writes[key]; isWrite {
+			continue
+		}
+		l := sh.lock(key)
+		if l.readers == nil {
+			l.readers = make(map[string]struct{})
+		}
+		l.readers[txID] = struct{}{}
+	}
+	st.locked = true
+	return true
+}
+
+func (sh *Shard) lock(key string) *lockState {
+	l, ok := sh.locks[key]
+	if !ok {
+		l = &lockState{}
+		sh.locks[key] = l
+	}
+	return l
+}
+
+// Commit implements commit.Resource: apply the staged writes, bump
+// versions, release intents.
+func (sh *Shard) Commit(txID string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.staged[txID]
+	if !ok {
+		return
+	}
+	for key, w := range st.writes {
+		if w.tombstone {
+			delete(sh.data, key)
+		} else {
+			sh.data[key] = w.value
+		}
+		sh.versions[key]++
+	}
+	sh.drop(txID)
+}
+
+// Abort implements commit.Resource: drop the staged writes and release
+// intents.
+func (sh *Shard) Abort(txID string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.drop(txID)
+}
+
+// drop removes a transaction's staged state and any intents it holds.
+// Callers hold sh.mu.
+func (sh *Shard) drop(txID string) {
+	st, ok := sh.staged[txID]
+	if !ok {
+		return
+	}
+	delete(sh.staged, txID)
+	if !st.locked {
+		return
+	}
+	release := func(key string) {
+		l, held := sh.locks[key]
+		if !held {
+			return
+		}
+		if l.writer == txID {
+			l.writer = ""
+		}
+		delete(l.readers, txID)
+		if l.writer == "" && len(l.readers) == 0 {
+			delete(sh.locks, key)
+		}
+	}
+	for key := range st.writes {
+		release(key)
+	}
+	for key := range st.reads {
+		release(key)
+	}
+}

@@ -27,6 +27,7 @@ type Txn struct {
 	cache     map[string]readVal
 	writes    map[string]write
 	submitted bool
+	err       error // sticky: a failed remote read poisons the transaction
 }
 
 // use panics if the transaction was already submitted: its footprint has
@@ -39,19 +40,35 @@ func (t *Txn) use() {
 
 // Get reads a key: the transaction's own pending write if it has one, the
 // cached first read otherwise, else the latest committed value (whose
-// version is recorded and revalidated at Prepare).
+// version is recorded and revalidated at Prepare). Over a remote runtime a
+// failed read reports absent and poisons the transaction — Submit will
+// return the error instead of committing on incomplete data. Use Read to
+// observe read errors directly.
 func (t *Txn) Get(key string) (string, bool) {
+	v, ok, _ := t.Read(key)
+	return v, ok
+}
+
+// Read is Get with the runtime error exposed. Local stores never error.
+func (t *Txn) Read(key string) (string, bool, error) {
 	t.use()
+	if t.err != nil {
+		return "", false, t.err
+	}
 	if w, ok := t.writes[key]; ok {
-		return w.value, !w.tombstone
+		return w.value, !w.tombstone, nil
 	}
 	if r, ok := t.cache[key]; ok {
-		return r.value, r.ok
+		return r.value, r.ok, nil
 	}
-	v, ok, ver := t.s.shardFor(key).readCommitted(key)
+	v, ok, ver, err := t.s.b.read(key)
+	if err != nil {
+		t.err = fmt.Errorf("kv: read %q: %w", key, err)
+		return "", false, t.err
+	}
 	t.reads[key] = ver
 	t.cache[key] = readVal{value: v, ok: ok}
-	return v, ok
+	return v, ok, nil
 }
 
 // Put buffers a write of key = value.
@@ -69,24 +86,20 @@ func (t *Txn) Delete(key string) {
 // Pending is the future of a submitted transaction, wrapping the commit
 // pipeline's own future.
 type Pending struct {
-	id       string
-	txn      *commit.Txn
-	involved []*shard
-	release  sync.Once
+	id      string
+	txn     *commit.Txn
+	clean   func() // backend-provided; may be nil (remote: peers own cleanup)
+	release sync.Once
 }
 
-// cleanup unstages the footprint after an infrastructure error (the
+// cleanup releases staged state after an infrastructure error (the
 // Commit/Abort callbacks will never fire). Idempotent; only called once the
 // future resolved.
 func (p *Pending) cleanup() {
-	if p.txn.Err() == nil {
+	if p.clean == nil || p.txn.Err() == nil {
 		return
 	}
-	p.release.Do(func() {
-		for _, sh := range p.involved {
-			sh.unstage(p.id)
-		}
-	})
+	p.release.Do(p.clean)
 }
 
 // TxID returns the transaction's identifier.
@@ -123,42 +136,39 @@ func (t *Txn) Submit(ctx context.Context) (*Pending, error) {
 		return nil, fmt.Errorf("kv: transaction already submitted")
 	}
 	t.submitted = true
+	if t.err != nil {
+		return nil, t.err
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 
-	// Split the footprint by shard.
-	type footprint struct {
-		reads  map[string]uint64
-		writes map[string]write
-	}
-	byShard := make(map[*shard]*footprint)
-	fp := func(sh *shard) *footprint {
-		f, ok := byShard[sh]
+	// Split the footprint by shard index.
+	byShard := make(map[int]*footprint)
+	fp := func(i int) *footprint {
+		f, ok := byShard[i]
 		if !ok {
 			f = &footprint{reads: make(map[string]uint64), writes: make(map[string]write)}
-			byShard[sh] = f
+			byShard[i] = f
 		}
 		return f
 	}
 	for key, ver := range t.reads {
-		fp(t.s.shardFor(key)).reads[key] = ver
+		fp(shardIndex(key, t.s.nshards)).reads[key] = ver
 	}
 	for key, w := range t.writes {
-		fp(t.s.shardFor(key)).writes[key] = w
+		fp(shardIndex(key, t.s.nshards)).writes[key] = w
 	}
 
 	txID := t.s.nextTxID()
 	if len(byShard) == 0 {
 		return &Pending{id: txID, txn: commit.ResolvedTxn(txID, true)}, nil
 	}
-	involved := make([]*shard, 0, len(byShard))
-	for sh, f := range byShard {
-		sh.stage(txID, f.reads, f.writes)
-		involved = append(involved, sh)
+	ct, clean, err := t.s.b.submit(ctx, txID, byShard)
+	if err != nil {
+		return nil, err
 	}
-	ct := t.s.cluster.Submit(ctx, txID)
-	p := &Pending{id: txID, txn: ct, involved: involved}
+	p := &Pending{id: txID, txn: ct, clean: clean}
 
 	// If the protocol instance resolves with an infrastructure error (ctx
 	// expiry, closed store), the Commit/Abort callbacks never fire; release

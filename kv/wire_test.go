@@ -1,0 +1,102 @@
+package kv
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"atomiccommit/internal/wire"
+)
+
+func TestFootprintWireRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := &footprint{
+		reads:  map[string]uint64{"alpha": 3, "beta": 0, "gamma": 41},
+		writes: map[string]write{"beta": {value: "v2"}, "delta": {tombstone: true}},
+	}
+	m := footprintToMsg(f)
+	b := m.MarshalWire(nil)
+
+	var d wire.Decoder
+	d.Reset(b)
+	decoded, err := footprintMsg{}.UnmarshalWire(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := decoded.(footprintMsg)
+	if !ok {
+		t.Fatalf("decoded %T", decoded)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip:\n got %#v\nwant %#v", got, m)
+	}
+
+	// Map iteration must not leak into the encoding: same footprint, same
+	// bytes.
+	if b2 := footprintToMsg(f).MarshalWire(nil); !bytes.Equal(b, b2) {
+		t.Fatal("footprint encoding is not deterministic")
+	}
+
+	reads, writes, err := got.sets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reads, f.reads) || !reflect.DeepEqual(writes, f.writes) {
+		t.Fatalf("sets() diverged:\nreads  %#v\nwrites %#v", reads, writes)
+	}
+}
+
+func TestFootprintSetsMismatch(t *testing.T) {
+	t.Parallel()
+	m := footprintMsg{ReadKeys: []string{"a", "b"}, ReadVers: []uint64{1}}
+	if _, _, err := m.sets(); err == nil {
+		t.Fatal("mismatched parallel slices must error")
+	}
+	m = footprintMsg{WriteKeys: []string{"a"}, WriteVals: []string{"v"}, WriteDels: nil}
+	if _, _, err := m.sets(); err == nil {
+		t.Fatal("mismatched write slices must error")
+	}
+}
+
+func TestReadWireRoundTrip(t *testing.T) {
+	t.Parallel()
+	rq := readMsg{Keys: []string{"x", "", "acct-7"}}
+	var d wire.Decoder
+	d.Reset(rq.MarshalWire(nil))
+	decoded, err := readMsg{}.UnmarshalWire(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, rq) {
+		t.Fatalf("readMsg round trip: %#v", decoded)
+	}
+
+	reply := readReplyMsg{
+		Vals: []string{"10", "", "z"},
+		Oks:  []bool{true, false, true},
+		Vers: []uint64{7, 0, 1 << 40},
+	}
+	d.Reset(reply.MarshalWire(nil))
+	decoded, err = readReplyMsg{}.UnmarshalWire(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, reply) {
+		t.Fatalf("readReplyMsg round trip: %#v", decoded)
+	}
+}
+
+func TestWireTruncated(t *testing.T) {
+	t.Parallel()
+	full := footprintToMsg(&footprint{
+		reads:  map[string]uint64{"k": 9},
+		writes: map[string]write{"k": {value: "v"}},
+	}).MarshalWire(nil)
+	for cut := 0; cut < len(full); cut++ {
+		var d wire.Decoder
+		d.Reset(full[:cut])
+		if _, err := (footprintMsg{}).UnmarshalWire(&d); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+}
