@@ -108,23 +108,27 @@ func main() {
 	// kv-geo snapshots: per-region cells keyed (protocol, geo, region).
 	if len(oldSnap.KVRows) > 0 || len(newSnap.KVRows) > 0 {
 		type gkey struct {
-			proto  string
-			geo    string
-			region string
+			proto    string
+			geo      string
+			region   string
+			theta    float64
+			readFrac float64
 		}
 		gbase := make(map[gkey]bench.KVGeoRow, len(oldSnap.KVRows))
 		for _, r := range oldSnap.KVRows {
-			gbase[gkey{r.Protocol, r.Geo, r.Region}] = r
+			gbase[gkey{r.Protocol, r.Geo, r.Region, r.Theta, r.ReadFrac}] = r
 		}
-		fmt.Printf("%-12s %-10s %-8s %10s %10s %8s %12s %12s %9s %9s\n",
-			"protocol", "geo", "region", "old txn/s", "new txn/s", "delta", "old p99", "new p99", "old ab%", "new ab%")
+		fmt.Printf("%-12s %-10s %-8s %5s %4s %10s %10s %8s %12s %12s %9s %9s %8s %8s %10s %10s %6s %8s\n",
+			"protocol", "geo", "region", "theta", "rf", "old txn/s", "new txn/s", "delta", "old p99", "new p99", "old ab%", "new ab%", "old rtt", "new rtt", "old wall50", "new wall50", "hits", "staleAb")
 		for _, n := range newSnap.KVRows {
-			k := gkey{n.Protocol, n.Geo, n.Region}
+			k := gkey{n.Protocol, n.Geo, n.Region, n.Theta, n.ReadFrac}
 			o, ok := gbase[k]
 			if !ok {
-				fmt.Printf("%-12s %-10s %-8s %10s %10.1f %8s %12s %12s %9s %8.1f%%  (cell missing from old snapshot)\n",
-					n.Protocol, n.Geo, n.Region, "-", n.TxnsPerSec, "-", "-",
-					n.P99.Round(time.Millisecond), "-", 100*n.AbortRate)
+				fmt.Printf("%-12s %-10s %-8s %5.2f %4.2f %10s %10.1f %8s %12s %12s %9s %8.1f%% %8s %8.2f %10s %10s %6d %8d  (cell missing from old snapshot)\n",
+					n.Protocol, n.Geo, n.Region, n.Theta, n.ReadFrac, "-", n.TxnsPerSec, "-", "-",
+					n.P99.Round(time.Millisecond), "-", 100*n.AbortRate,
+					"-", n.RTTPerTxn, "-", n.WallP50.Round(time.Millisecond),
+					n.CacheHits, n.CacheStaleAborts)
 				missing++
 				continue
 			}
@@ -138,10 +142,30 @@ func main() {
 				mark = "  REGRESSION"
 				failed = true
 			}
-			fmt.Printf("%-12s %-10s %-8s %10.1f %10.1f %+7.1f%% %12s %12s %8.1f%% %8.1f%%%s\n",
-				n.Protocol, n.Geo, n.Region, o.TxnsPerSec, n.TxnsPerSec, delta*100,
+			// WAN legs are a deterministic property of the client code path,
+			// not of machine noise: a transaction paying materially more
+			// sequential round trips than the baseline recorded is a
+			// regression on the geo hot path even if loopback throughput
+			// hides it. A zero baseline (pre-column snapshot) gates nothing.
+			if *maxRegress > 0 && o.RTTPerTxn > 0 && n.RTTPerTxn > o.RTTPerTxn*(1+*maxRegress) {
+				mark = "  REGRESSION (rtt/txn)"
+				failed = true
+			}
+			// Wall p50 contains the client's WAN legs plus the (shaped,
+			// deterministic) protocol span, so it is far more stable than
+			// loopback throughput; gate it by the same bound. Zero baseline
+			// (pre-column snapshot) gates nothing.
+			if *maxRegress > 0 && o.WallP50 > 0 && float64(n.WallP50) > float64(o.WallP50)*(1+*maxRegress) {
+				mark = "  REGRESSION (wall p50)"
+				failed = true
+			}
+			fmt.Printf("%-12s %-10s %-8s %5.2f %4.2f %10.1f %10.1f %+7.1f%% %12s %12s %8.1f%% %8.1f%% %8.2f %8.2f %10s %10s %6d %8d%s\n",
+				n.Protocol, n.Geo, n.Region, n.Theta, n.ReadFrac, o.TxnsPerSec, n.TxnsPerSec, delta*100,
 				o.P99.Round(time.Millisecond), n.P99.Round(time.Millisecond),
-				100*o.AbortRate, 100*n.AbortRate, mark)
+				100*o.AbortRate, 100*n.AbortRate,
+				o.RTTPerTxn, n.RTTPerTxn,
+				o.WallP50.Round(time.Millisecond), n.WallP50.Round(time.Millisecond),
+				n.CacheHits, n.CacheStaleAborts, mark)
 		}
 		gleft := make([]gkey, 0, len(gbase))
 		for k := range gbase {
@@ -155,10 +179,16 @@ func main() {
 			if a.geo != b.geo {
 				return a.geo < b.geo
 			}
-			return a.region < b.region
+			if a.region != b.region {
+				return a.region < b.region
+			}
+			if a.theta != b.theta {
+				return a.theta < b.theta
+			}
+			return a.readFrac < b.readFrac
 		})
 		for _, k := range gleft {
-			fmt.Printf("%-12s %-10s %-8s  (cell missing from new snapshot)\n", k.proto, k.geo, k.region)
+			fmt.Printf("%-12s %-10s %-8s %5.2f %4.2f  (cell missing from new snapshot)\n", k.proto, k.geo, k.region, k.theta, k.readFrac)
 			missing++
 		}
 	}

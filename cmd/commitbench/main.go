@@ -72,17 +72,18 @@ func main() {
 		trace      = flag.Bool("trace", false, "enable the flight recorder; on an anomaly (e.g. an agreement violation) print the merged per-member timeline to stderr and write dump files")
 		traceDir   = flag.String("trace-dir", ".", "directory for anomaly dump files (anomaly-<tx>-<kind>.json/.txt); requires -trace")
 
-		kvMode    = flag.Bool("kv", false, "kv mode: sharded transactional store — txn/s and induced abort rate vs Zipf contention per protocol")
-		kvF       = flag.Int("kv-f", 1, "kv mode: resilience parameter (1 <= f <= shards-1)")
-		kvProtos  = flag.String("kv-protocols", "inbac,2pc,paxoscommit", "kv mode: comma-separated protocol names")
-		kvThetas  = flag.String("kv-thetas", "0,0.7,0.99", "kv mode: comma-separated Zipf skew levels in [0,1)")
-		kvShards  = flag.Int("kv-shards", 4, "kv mode: shard (= participant) count")
-		kvTxns    = flag.Int("kv-txns", 400, "kv mode: transactions per data point")
-		kvWorkers = flag.Int("kv-workers", 24, "kv mode: concurrent committers (= in-flight window)")
-		kvKeys    = flag.Int("kv-keys", 1024, "kv mode: keyspace size (smaller = more contention)")
-		kvOps     = flag.Int("kv-ops", 4, "kv mode: operations per transaction")
-		kvReads   = flag.Float64("kv-readfrac", 0.5, "kv mode: fraction of operations that are reads")
-		geo       = flag.String("geo", "", "kv mode with -runtime tcp: geo latency profile (local | us-eu | us-eu-ap); one shard per peer process over shaped sockets, one client per region")
+		kvMode     = flag.Bool("kv", false, "kv mode: sharded transactional store — txn/s and induced abort rate vs Zipf contention per protocol")
+		kvF        = flag.Int("kv-f", 1, "kv mode: resilience parameter (1 <= f <= shards-1)")
+		kvProtos   = flag.String("kv-protocols", "inbac,2pc,paxoscommit", "kv mode: comma-separated protocol names")
+		kvThetas   = flag.String("kv-thetas", "0,0.7,0.99", "kv mode: comma-separated Zipf skew levels in [0,1)")
+		kvShards   = flag.Int("kv-shards", 4, "kv mode: shard (= participant) count")
+		kvTxns     = flag.Int("kv-txns", 400, "kv mode: transactions per data point")
+		kvWorkers  = flag.Int("kv-workers", 24, "kv mode: concurrent committers (= in-flight window)")
+		kvKeys     = flag.Int("kv-keys", 1024, "kv mode: keyspace size (smaller = more contention)")
+		kvOps      = flag.Int("kv-ops", 4, "kv mode: operations per transaction")
+		kvReads    = flag.Float64("kv-readfrac", 0.5, "kv mode: fraction of operations that are reads")
+		kvReadsGeo = flag.String("kv-readfracs", "", "kv geo mode: comma-separated read fractions to sweep (one row set per fraction); empty = just -kv-readfrac")
+		geo        = flag.String("geo", "", "kv mode with -runtime tcp: geo latency profile (local | us-eu | us-eu-ap); one shard per peer process over shaped sockets, one client per region")
 	)
 	flag.Parse()
 
@@ -223,17 +224,36 @@ func main() {
 					geoTimeout = *timeout
 				}
 			})
-			rows, s, err := bench.KVGeo(bench.KVGeoConfig{
-				Protocol: ps[0], Geo: geoName,
-				Shards: *kvShards, F: *kvF, Txns: *kvTxns, Workers: *kvWorkers,
-				Keys: *kvKeys, OpsPerTxn: *kvOps, Theta: thetas[0], ReadFrac: readFrac,
-				Timeout: geoTimeout,
-			})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)
-				os.Exit(1)
+			readFracs := []float64{readFrac}
+			if *kvReadsGeo != "" {
+				readFracs = readFracs[:0]
+				for _, s := range strings.Split(*kvReadsGeo, ",") {
+					rf, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+					if err != nil || rf < 0 || rf > 1 {
+						fmt.Fprintf(os.Stderr, "commitbench: bad read fraction %q (need [0,1])\n", s)
+						os.Exit(2)
+					}
+					if rf == 0 {
+						rf = -1 // KVGeoConfig uses 0 as "default"
+					}
+					readFracs = append(readFracs, rf)
+				}
 			}
-			show(s)
+			var rows []bench.KVGeoRow
+			for _, rf := range readFracs {
+				prows, s, err := bench.KVGeo(bench.KVGeoConfig{
+					Protocol: ps[0], Geo: geoName,
+					Shards: *kvShards, F: *kvF, Txns: *kvTxns, Workers: *kvWorkers,
+					Keys: *kvKeys, OpsPerTxn: *kvOps, Theta: thetas[0], ReadFrac: rf,
+					Timeout: geoTimeout,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)
+					os.Exit(1)
+				}
+				show(s)
+				rows = append(rows, prows...)
+			}
 			if *jsonOut != "" {
 				snap := bench.NewKVGeoSnapshot(rows)
 				snap.Metrics = obs.M.Counters("")

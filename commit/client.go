@@ -2,6 +2,7 @@ package commit
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -274,6 +275,13 @@ func (c *Client) Query(ctx context.Context, peer int, m Message) (Message, error
 // bound expires (the transaction's fate is whatever the surviving peers
 // decided — a restarted coordinator must not be handed the txID afresh).
 func (c *Client) SubmitAt(ctx context.Context, txID string, coord int) *Txn {
+	return c.submitMsg(ctx, txID, coord, goPath, goMsg{})
+}
+
+// submitMsg is SubmitAt generalized over the message that starts the
+// commit: a bare goMsg, or a stageGoMsg carrying the coordinator's own
+// footprint (StageGo).
+func (c *Client) submitMsg(ctx context.Context, txID string, coord int, path string, msg Message) *Txn {
 	t := &Txn{TxID: txID, done: make(chan struct{})}
 	t.start = time.Now()
 	if err := c.checkPeer(coord); err != nil {
@@ -305,7 +313,7 @@ func (c *Client) SubmitAt(ctx context.Context, txID string, coord int) *Txn {
 
 	to := core.ProcessID(coord)
 	c.hello(to)
-	if err := c.tcp.Send(live.Envelope{TxID: txID, From: c.id, To: to, Path: goPath, Msg: goMsg{}}); err != nil {
+	if err := c.tcp.Send(live.Envelope{TxID: txID, From: c.id, To: to, Path: path, Msg: msg}); err != nil {
 		c.resolve(txID, false, err)
 		return t
 	}
@@ -324,6 +332,40 @@ func (c *Client) SubmitAt(ctx context.Context, txID string, coord int) *Txn {
 		}
 	}()
 	return t
+}
+
+// stageGoBudget bounds the footprint a StageGo may piggyback on the go
+// leg. A larger footprint falls back to the two-phase stage path so one
+// giant transaction cannot monopolize a flush frame (frames are bounded at
+// 8 MiB on the read side) or starve the envelopes batched behind it.
+const stageGoBudget = 256 << 10
+
+// ErrStageTooLarge reports a footprint too big to piggyback on the go leg;
+// the caller should stage it two-phase (Stage + SubmitAt) instead.
+var ErrStageTooLarge = errors.New("commit: footprint exceeds the stage+go budget")
+
+// StageGo ships txID's footprint for the coordinator's own resource INSIDE
+// the go message and returns the commit future: one WAN leg where Stage +
+// SubmitAt pay two. The stage-ack barrier exists because cross-connection
+// delivery is not FIFO; a footprint riding in the message that starts the
+// commit is trivially ordered before it, so no ack is needed. Footprints
+// for OTHER peers must still be staged and acked (Stage) before calling
+// this. m may be nil when the coordinator hosts no slice of the
+// transaction. Returns ErrStageTooLarge (before anything is sent) when m's
+// encoding exceeds the piggyback budget — stage two-phase then.
+func (c *Client) StageGo(ctx context.Context, txID string, coord int, m Message) (*Txn, error) {
+	var fp []byte
+	if m != nil {
+		var err error
+		fp, err = live.MarshalMessage(m)
+		if err != nil {
+			return nil, err
+		}
+		if len(fp) > stageGoBudget {
+			return nil, fmt.Errorf("%w: %d bytes > %d", ErrStageTooLarge, len(fp), stageGoBudget)
+		}
+	}
+	return c.submitMsg(ctx, txID, coord, stageGoPath, stageGoMsg{Fp: fp}), nil
 }
 
 // Submit enqueues one transaction, choosing a coordinator round-robin

@@ -39,11 +39,14 @@ type hostedFake struct {
 	mu        sync.Mutex
 	refuse    bool // refuse every stage
 	staged    map[string]string
+	history   map[string]string // every payload ever staged (survives commit)
 	committed []string
 	aborted   []string
 }
 
-func newHostedFake() *hostedFake { return &hostedFake{staged: make(map[string]string)} }
+func newHostedFake() *hostedFake {
+	return &hostedFake{staged: make(map[string]string), history: make(map[string]string)}
+}
 
 func (h *hostedFake) Prepare(txID string) bool { return true }
 
@@ -72,6 +75,7 @@ func (h *hostedFake) Stage(txID string, m Message) error {
 		return fmt.Errorf("staging refused")
 	}
 	h.staged[txID] = fp.Payload
+	h.history[txID] = fp.Payload
 	return nil
 }
 

@@ -103,6 +103,7 @@ const (
 	stagePath      = "\x00stage"      // payload is the resource's own footprint message
 	stageAckPath   = "\x00stageack"   // stageAckMsg: stage accepted or refused
 	goPath         = "\x00go"         // goMsg: all stages acked; run the commit
+	stageGoPath    = "\x00stagego"    // stageGoMsg: footprint piggybacked on the go leg
 	resultPath     = "\x00result"     // resultMsg: the coordinator's local decision
 	queryPath      = "\x00query"      // payload is the resource's read request
 	queryReplyPath = "\x00queryreply" // payload is the resource's read reply
@@ -191,6 +192,33 @@ func (resultMsg) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
 	return resultMsg{V: core.Value(d.Uvarint()), Err: d.String()}, d.Err()
 }
 
+// stageGoMsg piggybacks the coordinator's own footprint on the go leg: the
+// stage-then-ack barrier exists because cross-connection delivery is not
+// FIFO, but a footprint riding *inside* the message that starts the commit
+// trivially arrives before the protocol does — so the client saves the
+// coordinator's stage round trip (and for a single-peer footprint, the
+// whole barrier). Fp is a live.MarshalMessage encoding of the resource's
+// footprint message; empty means the coordinator hosts no slice of this
+// transaction (every footprint was staged two-phase elsewhere).
+type stageGoMsg struct {
+	Fp []byte
+}
+
+// Kind implements core.Message.
+func (stageGoMsg) Kind() string { return "STAGEGO" }
+
+// WireID implements core.Wire. The commit block (1..7) is full, so this
+// takes 83, adjacent to the kv client-path block (80..82) it serves.
+func (stageGoMsg) WireID() uint16 { return 83 }
+
+// MarshalWire implements core.Wire.
+func (m stageGoMsg) MarshalWire(b []byte) []byte { return wire.AppendBytes(b, m.Fp) }
+
+// UnmarshalWire implements core.Wire.
+func (stageGoMsg) UnmarshalWire(d *wire.Decoder) (core.Message, error) {
+	return stageGoMsg{Fp: d.Bytes()}, d.Err()
+}
+
 // unstageMsg drops a staged transaction that will never begin (a sibling
 // stage was refused). Only honored before the protocol instance starts.
 type unstageMsg struct{}
@@ -215,6 +243,7 @@ func init() {
 	live.RegisterWire(helloMsg{})
 	live.RegisterWire(stageAckMsg{})
 	live.RegisterWire(goMsg{})
+	live.RegisterWire(stageGoMsg{})
 	live.RegisterWire(resultMsg{})
 	live.RegisterWire(unstageMsg{})
 }
@@ -339,6 +368,9 @@ func (p *Peer) deliver(e live.Envelope) {
 		// transport's read loop on it.
 		go p.handleGo(e)
 		return
+	case stageGoPath:
+		go p.handleStageGo(e)
+		return
 	case queryPath:
 		p.handleQuery(e)
 		return
@@ -422,6 +454,59 @@ func (p *Peer) handleGo(e live.Envelope) {
 		res.Err = err.Error()
 	}
 	_ = p.tcp.Send(live.Envelope{TxID: e.TxID, From: p.id, To: e.From, Path: resultPath, Msg: res})
+}
+
+// handleStageGo is handleStage and handleGo collapsed into one leg: stage
+// the piggybacked footprint (same-connection delivery guarantees it cannot
+// be overtaken by the begin it precedes), then coordinate the commit and
+// report the decision. A stage refusal answers as a resultMsg error — the
+// transaction never begins, and nothing was staged elsewhere that this
+// client still owns (two-phase stages, if any, were acked first). No stage
+// TTL is armed: the protocol run arrives in the same breath, so there is
+// no orphaned-stage window for a client crash to leave behind.
+func (p *Peer) handleStageGo(e live.Envelope) {
+	m, ok := e.Msg.(stageGoMsg)
+	if !ok {
+		return
+	}
+	if len(m.Fp) > 0 {
+		hosted, isHosted := p.res.(HostedResource)
+		refuse := func(msg string) {
+			_ = p.tcp.Send(live.Envelope{TxID: e.TxID, From: p.id, To: e.From,
+				Path: resultPath, Msg: resultMsg{V: core.Abort, Err: msg}})
+		}
+		if !isHosted {
+			refuse("peer does not host a stageable resource")
+			return
+		}
+		p.mu.Lock()
+		_, done := p.decided[e.TxID]
+		started := p.started[e.TxID]
+		closed := p.closed
+		p.mu.Unlock()
+		switch {
+		case closed:
+			refuse("peer closed")
+			return
+		case done || started:
+			// A replayed stage+go: the footprint already reached the
+			// protocol; fall through and answer from the run or the cache.
+		default:
+			fp, err := live.UnmarshalMessage(m.Fp)
+			if err != nil {
+				refuse("malformed piggybacked footprint: " + err.Error())
+				return
+			}
+			if err := hosted.Stage(e.TxID, fp); err != nil {
+				refuse(err.Error())
+				return
+			}
+			p.mu.Lock()
+			p.staged[e.TxID] = struct{}{}
+			p.mu.Unlock()
+		}
+	}
+	p.handleGo(e)
 }
 
 // handleQuery answers a one-shot read against the hosted resource. Errors

@@ -1,0 +1,191 @@
+package commit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"atomiccommit/internal/live"
+	"atomiccommit/internal/wire"
+)
+
+// TestClientStageGoCommits: the piggybacked stage+go leg must deliver the
+// coordinator's footprint AND run the commit in one client round trip —
+// the fake sees the payload staged, the transaction commits everywhere.
+func TestClientStageGoCommits(t *testing.T) {
+	t.Parallel()
+	opts := Options{Protocol: INBAC, F: 1, Timeout: 25 * time.Millisecond}
+	_, fakes, c := hostedDeployment(t, 3, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// An indulgent protocol may legally abort an all-yes transaction when
+	// scheduling delay violates its timing bound (common under -race), so
+	// retry with a fresh ID before calling it a failure.
+	var txID string
+	committed := false
+	for attempt := 0; attempt < 4 && !committed; attempt++ {
+		txID = fmt.Sprintf("stagego-tx-%d", attempt)
+		txn, err := c.StageGo(ctx, txID, 2, fakeFootprint{Payload: "piggy"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed, err = txn.Wait(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !committed {
+		t.Fatal("all-yes stage+go transaction aborted on every attempt")
+	}
+	fakes[1].mu.Lock()
+	staged := fakes[1].history[txID]
+	fakes[1].mu.Unlock()
+	if staged != "piggy" {
+		t.Fatalf("coordinator staged payload = %q, want piggy", staged)
+	}
+	waitFor(t, "coordinator commit callback", func() bool {
+		return fakes[1].has(committedList, txID)
+	})
+}
+
+// TestClientStageGoNilFootprint: a nil message degrades to a bare go — the
+// path two-phase callers use after staging everything with acks.
+func TestClientStageGoNilFootprint(t *testing.T) {
+	t.Parallel()
+	opts := Options{Protocol: INBAC, F: 1, Timeout: 25 * time.Millisecond}
+	_, _, c := hostedDeployment(t, 3, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Timing aborts are legal for an all-yes transaction (see above):
+	// retry with a fresh ID, re-staging everything two-phase each time.
+	committed := false
+	for attempt := 0; attempt < 4 && !committed; attempt++ {
+		txID := fmt.Sprintf("stagego-bare-%d", attempt)
+		for i := 1; i <= 3; i++ {
+			if err := c.Stage(ctx, txID, i, fakeFootprint{Payload: "two-phase"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		txn, err := c.StageGo(ctx, txID, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed, err = txn.Wait(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !committed {
+		t.Fatal("bare stage+go aborted on every attempt")
+	}
+}
+
+// TestClientStageGoTooLarge: an oversized footprint is rejected client-side
+// before anything reaches the wire, so the caller can fall back to the
+// two-phase path.
+func TestClientStageGoTooLarge(t *testing.T) {
+	t.Parallel()
+	opts := Options{Protocol: INBAC, F: 1, Timeout: 25 * time.Millisecond}
+	_, _, c := hostedDeployment(t, 2, opts)
+
+	big := fakeFootprint{Payload: strings.Repeat("x", stageGoBudget+1)}
+	txn, err := c.StageGo(context.Background(), "stagego-big", 1, big)
+	if !errors.Is(err, ErrStageTooLarge) {
+		t.Fatalf("err = %v, want ErrStageTooLarge", err)
+	}
+	if txn != nil {
+		t.Fatal("oversized stage+go returned a live future")
+	}
+}
+
+// TestClientStageGoRefused: a refused piggybacked stage must resolve the
+// future with an error — the transaction never began, nothing hangs.
+func TestClientStageGoRefused(t *testing.T) {
+	t.Parallel()
+	opts := Options{Protocol: INBAC, F: 1, Timeout: 25 * time.Millisecond}
+	_, fakes, c := hostedDeployment(t, 3, opts)
+	fakes[0].mu.Lock()
+	fakes[0].refuse = true
+	fakes[0].mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	txn, err := c.StageGo(ctx, "stagego-refused", 1, fakeFootprint{Payload: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := txn.Wait(ctx)
+	if ok || err == nil {
+		t.Fatalf("refused stage+go: ok=%v err=%v, want abort with error", ok, err)
+	}
+}
+
+// TestClientStageGoNonHostedPeer: a peer without a stageable resource must
+// refuse the piggybacked footprint, not silently run the commit without it.
+func TestClientStageGoNonHostedPeer(t *testing.T) {
+	t.Parallel()
+	opts := Options{Protocol: INBAC, F: 1, Timeout: 25 * time.Millisecond}
+	addrs := reserveAddrs(t, 2)
+	for i := 1; i <= 2; i++ {
+		p, err := NewPeer(i, addrs, ResourceFunc{}, opts) // not a HostedResource
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Close)
+	}
+	c, err := NewClient(3, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	txn, err := c.StageGo(ctx, "stagego-nonhosted", 1, fakeFootprint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, werr := txn.Wait(ctx)
+	if ok || werr == nil {
+		t.Fatalf("stage+go at a non-hosting peer: ok=%v err=%v, want abort with error", ok, werr)
+	}
+}
+
+// FuzzStageGoFootprintTruncation drives truncated and mutated stage+go
+// payloads through the exact decode path the peer runs on them — the outer
+// stageGoMsg decode, then live.UnmarshalMessage on the piggybacked bytes.
+// Whatever the input, the decoders must error cleanly, never panic: the
+// footprint crosses a trust boundary (any client can send one).
+func FuzzStageGoFootprintTruncation(f *testing.F) {
+	inner, err := live.MarshalMessage(fakeFootprint{Payload: "seed-payload"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	full := stageGoMsg{Fp: inner}.MarshalWire(nil)
+	for i := 0; i <= len(full); i++ {
+		f.Add(full[:i])
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var d wire.Decoder
+		d.Reset(raw)
+		out, err := stageGoMsg{}.UnmarshalWire(&d)
+		if err != nil {
+			return
+		}
+		m, ok := out.(stageGoMsg)
+		if !ok {
+			t.Fatalf("decoded %T, want stageGoMsg", out)
+		}
+		if len(m.Fp) == 0 {
+			return
+		}
+		// The handler's second decode stage: corrupt piggybacked bytes must
+		// surface as an error (the peer refuses), never a panic.
+		_, _ = live.UnmarshalMessage(m.Fp)
+	})
+}

@@ -24,6 +24,12 @@ type KVGeoRow struct {
 	Shards   int    `json:"shards"`
 	F        int    `json:"f"`
 
+	// The workload point (schema-additive): rows at different contention
+	// or read-mix levels are distinct cells, keyed by benchdiff alongside
+	// (protocol, geo, region).
+	Theta    float64 `json:"theta"`
+	ReadFrac float64 `json:"readFrac"`
+
 	Txns      int     `json:"txns"`
 	Committed int     `json:"committed"`
 	Aborted   int     `json:"aborted"`
@@ -40,6 +46,25 @@ type KVGeoRow struct {
 	StaleReads    int64 `json:"staleReads"`
 	IntentClashes int64 `json:"intentClashes"`
 	TimingAborts  int64 `json:"timingAborts"`
+
+	// WAN-leg accounting (schema-additive; absent = 0 in old snapshots).
+	// RTTPerTxn is the mean number of sequential client round-trip phases
+	// a transaction paid (reads that hit the cache pay none; GetMulti's
+	// fan-out and the stage barrier each pay one; a piggybacked stage+go
+	// pays one where stage-ack-then-go paid two). CacheHits/CacheStaleAborts
+	// are the client read cache's saved round trips and the aborted
+	// transactions that had consumed at least one cached read.
+	RTTPerTxn        float64 `json:"rttPerTxn"`
+	CacheHits        int64   `json:"cacheHits"`
+	CacheStaleAborts int64   `json:"cacheStaleAborts"`
+
+	// Full-transaction wall latency (Txn creation to decision), schema-
+	// additive. P50/P95/P99 above span only the protocol instance (dispatch
+	// to decision) and are floored by its timer structure; the wall
+	// percentiles additionally contain the client's read and stage legs —
+	// the part of a geo transaction this package's WAN-leg work collapses.
+	WallP50 time.Duration `json:"wallP50"`
+	WallP95 time.Duration `json:"wallP95"`
 }
 
 // KVGeoConfig parameterizes the cross-region kv benchmark.
@@ -157,12 +182,14 @@ func KVGeo(cfg KVGeoConfig) ([]KVGeoRow, string, error) {
 	t.title(fmt.Sprintf(
 		"KV cross-region sweep (%s on %q, shards=%d f=%d, %d txns/region, %d workers, %d keys, theta=%.2f, %d ops/txn, %.0f%% reads)",
 		cfg.Protocol, cfg.Geo, cfg.Shards, cfg.F, cfg.Txns, cfg.Workers, cfg.Keys, cfg.Theta, cfg.OpsPerTxn, 100*cfg.ReadFrac))
-	t.row("%-8s %10s %8s %9s %12s %12s %12s %7s %8s %8s", "region", "txn/s", "aborts", "abort%", "p50", "p95", "p99", "stale", "intent", "timing")
+	t.row("%-8s %10s %8s %9s %12s %12s %12s %10s %7s %8s %8s %8s %6s %8s", "region", "txn/s", "aborts", "abort%", "p50", "p95", "p99", "wall p50", "stale", "intent", "timing", "rtt/txn", "hits", "staleAb")
 	for _, r := range rows {
-		t.row("%-8s %10.1f %8d %8.1f%% %12s %12s %12s %7d %8d %8d",
+		t.row("%-8s %10.1f %8d %8.1f%% %12s %12s %12s %10s %7d %8d %8d %8.2f %6d %8d",
 			r.Region, r.TxnsPerSec, r.Aborted, 100*r.AbortRate,
 			r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond), r.P99.Round(time.Millisecond),
-			r.StaleReads, r.IntentClashes, r.TimingAborts)
+			r.WallP50.Round(time.Millisecond),
+			r.StaleReads, r.IntentClashes, r.TimingAborts,
+			r.RTTPerTxn, r.CacheHits, r.CacheStaleAborts)
 	}
 	t.blank()
 	t.row("One client per region commits against shard peers spread round-robin across all regions")
@@ -183,6 +210,9 @@ func kvGeoRegion(ctx context.Context, cfg KVGeoConfig, profile *live.NetProfile,
 	stale0 := obs.M.CounterValue("kv.conflict.stale_read")
 	intent0 := obs.M.CounterValue("kv.conflict.intent")
 	timing0 := obs.M.CounterValue("commit.abort.timing." + cfg.Protocol)
+	legs0 := obs.M.CounterValue("kv.remote.legs")
+	hit0 := obs.M.CounterValue("kv.cache.hit")
+	staleAb0 := obs.M.CounterValue("kv.cache.stale_abort")
 	stats, err := kv.Run(ctx, s, kv.Workload{
 		Keys: cfg.Keys, Theta: cfg.Theta, ReadFrac: cfg.ReadFrac, OpsPerTxn: cfg.OpsPerTxn,
 	}, kv.RunConfig{Txns: cfg.Txns, Workers: cfg.Workers, Seed: cfg.Seed + int64(ri)})
@@ -192,6 +222,7 @@ func kvGeoRegion(ctx context.Context, cfg KVGeoConfig, profile *live.NetProfile,
 	return KVGeoRow{
 		Protocol: cfg.Protocol, Geo: cfg.Geo, Region: region,
 		Shards: cfg.Shards, F: cfg.F,
+		Theta: cfg.Theta, ReadFrac: cfg.ReadFrac,
 		Txns: cfg.Txns, Committed: stats.Committed, Aborted: stats.Aborted,
 		AbortRate:  stats.AbortRate(),
 		TxnsPerSec: stats.TxnsPerSec(),
@@ -202,6 +233,15 @@ func kvGeoRegion(ctx context.Context, cfg KVGeoConfig, profile *live.NetProfile,
 		StaleReads:    obs.M.CounterValue("kv.conflict.stale_read") - stale0,
 		IntentClashes: obs.M.CounterValue("kv.conflict.intent") - intent0,
 		TimingAborts:  obs.M.CounterValue("commit.abort.timing."+cfg.Protocol) - timing0,
+
+		// Regions run sequentially, so counter deltas attribute cleanly to
+		// this region's client.
+		RTTPerTxn:        float64(obs.M.CounterValue("kv.remote.legs")-legs0) / float64(cfg.Txns),
+		CacheHits:        obs.M.CounterValue("kv.cache.hit") - hit0,
+		CacheStaleAborts: obs.M.CounterValue("kv.cache.stale_abort") - staleAb0,
+
+		WallP50: stats.WallPercentile(0.50),
+		WallP95: stats.WallPercentile(0.95),
 	}, nil
 }
 

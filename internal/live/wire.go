@@ -30,6 +30,7 @@ import (
 //	68..69   protocols/hubnbac
 //	72..76   protocols/fullnbac
 //	80..82   kv (footprint, read, readReply)
+//	83       commit (stageGoMsg — piggybacked stage+go client leg)
 //	>= 240   reserved for tests
 //
 // Versioning: adding a message type takes a fresh ID; removing one retires
@@ -141,6 +142,43 @@ func decodeEnvelope(d *wire.Decoder) (Envelope, error) {
 	}
 	e.Msg = m
 	return e, nil
+}
+
+// MarshalMessage encodes one registered message standalone — uvarint type
+// ID followed by the MarshalWire payload — so a message can ride nested
+// inside another message's bytes field (the combined stage+go leg carries
+// the resource's footprint message this way).
+func MarshalMessage(m core.Message) ([]byte, error) {
+	w, ok := m.(core.Wire)
+	if !ok {
+		return nil, fmt.Errorf("live: message %T does not implement core.Wire", m)
+	}
+	b := wire.AppendUvarint(nil, uint64(w.WireID()))
+	return w.MarshalWire(b), nil
+}
+
+// UnmarshalMessage decodes a MarshalMessage encoding back into its
+// registered type. An unknown type ID is an error: nested messages travel
+// inside an already-dispatched envelope, so there is no frame to skip to.
+func UnmarshalMessage(b []byte) (core.Message, error) {
+	var d wire.Decoder
+	d.Reset(b)
+	id := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if id > 1<<16-1 {
+		return nil, wire.ErrCorrupt
+	}
+	proto, ok := wireLookup(uint16(id))
+	if !ok {
+		return nil, fmt.Errorf("%w %d", errUnknownWireID, id)
+	}
+	m, err := proto.UnmarshalWire(&d)
+	if err != nil {
+		return nil, fmt.Errorf("live: decode %T: %w", proto, err)
+	}
+	return m, nil
 }
 
 // EncodedSize reports how many bytes e occupies inside a frame — the

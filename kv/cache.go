@@ -1,0 +1,132 @@
+// Client-side versioned read cache for the remote runtime. A hit skips the
+// WAN entirely; safety comes for free because every read version travels in
+// the footprint and shard Prepare revalidates it — the worst a stale entry
+// can cause is an OCC abort, which the existing abort-attribution counters
+// already classify. A TTL caps how stale an entry may be served, so a hot
+// geo workload converges to fresh reads instead of thrashing on aborts.
+
+package kv
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"atomiccommit/internal/obs"
+)
+
+// Read-cache metrics: hits saved a WAN round trip; stale aborts are
+// aborted transactions that consumed at least one cached read (the upper
+// bound on aborts the cache could have caused — the shard-side
+// kv.conflict.stale_read counter says how many reads were in fact stale).
+var (
+	mCacheHit        = obs.M.Counter("kv.cache.hit")
+	mCacheMiss       = obs.M.Counter("kv.cache.miss")
+	mCacheStaleAbort = obs.M.Counter("kv.cache.stale_abort")
+)
+
+// cacheEntry is one cached committed read: value, presence, the version the
+// owning shard reported (or the client derived from its own commit), and
+// when it was observed.
+type cacheEntry struct {
+	key string
+	val string
+	ok  bool
+	ver uint64
+	at  time.Time
+}
+
+// readCache is an LRU of key -> (value, version) with a staleness TTL.
+// Filled by read replies and by the client's own committed
+// read-modify-writes (whose post-commit version is exactly readVersion+1:
+// the shard's Prepare validated the read under intents that excluded every
+// other writer until our commit applied). All methods are safe for
+// concurrent use; a nil *readCache is a valid, always-missing cache.
+type readCache struct {
+	mu  sync.Mutex
+	cap int
+	ttl time.Duration
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+func newReadCache(capacity int, ttl time.Duration) *readCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &readCache{cap: capacity, ttl: ttl, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+}
+
+// get returns the cached entry for key if present and within the TTL,
+// counting the hit or miss.
+func (c *readCache) get(key string) (val string, ok bool, ver uint64, hit bool) {
+	if c == nil {
+		return "", false, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.m[key]
+	if !found {
+		mCacheMiss.Add(1)
+		return "", false, 0, false
+	}
+	e := el.Value.(*cacheEntry)
+	if c.ttl > 0 && time.Since(e.at) > c.ttl {
+		// Expired: drop it so the next fill re-reads the shard.
+		c.ll.Remove(el)
+		delete(c.m, key)
+		mCacheMiss.Add(1)
+		return "", false, 0, false
+	}
+	c.ll.MoveToFront(el)
+	mCacheHit.Add(1)
+	return e.val, e.ok, e.ver, true
+}
+
+// put records key's committed state, evicting the least recently used
+// entry beyond capacity.
+func (c *readCache) put(key, val string, ok bool, ver uint64) {
+	if c == nil {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.m[key]; found {
+		e := el.Value.(*cacheEntry)
+		e.val, e.ok, e.ver, e.at = val, ok, ver, now
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, ok: ok, ver: ver, at: now})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// invalidate drops key (a blind write or delete committed, so the new
+// version is unknown client-side; or a cached read fed an aborted
+// transaction and must not feed the retry).
+func (c *readCache) invalidate(key string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.m[key]; found {
+		c.ll.Remove(el)
+		delete(c.m, key)
+	}
+}
+
+// len reports the live entry count (tests).
+func (c *readCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

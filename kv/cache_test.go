@@ -1,0 +1,228 @@
+package kv
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"atomiccommit/commit"
+	"atomiccommit/internal/obs"
+)
+
+func TestReadCacheLRU(t *testing.T) {
+	t.Parallel()
+	c := newReadCache(2, 0)
+	c.put("a", "1", true, 1)
+	c.put("b", "2", true, 1)
+	if v, ok, ver, hit := c.get("a"); !hit || v != "1" || !ok || ver != 1 {
+		t.Fatalf("get a = (%q,%v,%d,%v), want (1,true,1,hit)", v, ok, ver, hit)
+	}
+	// "a" was just used, so inserting "c" must evict "b".
+	c.put("c", "3", true, 1)
+	if _, _, _, hit := c.get("b"); hit {
+		t.Fatal("LRU eviction kept b over the more recently used a")
+	}
+	if _, _, _, hit := c.get("a"); !hit {
+		t.Fatal("LRU eviction dropped the most recently used entry")
+	}
+	if got := c.len(); got != 2 {
+		t.Fatalf("len = %d, want 2", got)
+	}
+	// Update-in-place must not grow the cache, and must refresh the entry.
+	c.put("a", "1b", false, 7)
+	if v, ok, ver, hit := c.get("a"); !hit || v != "1b" || ok || ver != 7 {
+		t.Fatalf("updated a = (%q,%v,%d,%v), want (1b,false,7,hit)", v, ok, ver, hit)
+	}
+	if got := c.len(); got != 2 {
+		t.Fatalf("len after update = %d, want 2", got)
+	}
+	c.invalidate("a")
+	if _, _, _, hit := c.get("a"); hit {
+		t.Fatal("invalidated entry still served")
+	}
+}
+
+func TestReadCacheTTL(t *testing.T) {
+	t.Parallel()
+	c := newReadCache(8, 30*time.Millisecond)
+	c.put("k", "v", true, 3)
+	if _, _, _, hit := c.get("k"); !hit {
+		t.Fatal("fresh entry missed")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if _, _, _, hit := c.get("k"); hit {
+		t.Fatal("entry served past its TTL")
+	}
+	if got := c.len(); got != 0 {
+		t.Fatalf("expired entry still resident: len = %d", got)
+	}
+}
+
+func TestReadCacheDisabledAndNil(t *testing.T) {
+	t.Parallel()
+	if c := newReadCache(0, time.Second); c != nil {
+		t.Fatal("capacity 0 must disable the cache")
+	}
+	var c *readCache
+	c.put("k", "v", true, 1) // must not panic
+	c.invalidate("k")
+	if _, _, _, hit := c.get("k"); hit {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+}
+
+// TestRemoteCacheStaleAbort: a cached read gone stale (another client
+// committed a newer version) must cost exactly an OCC abort — attributed to
+// the cache by kv.cache.stale_abort — and invalidate the entry so the
+// retry re-reads and commits. This is the cache's safety contract on real
+// sockets. Not parallel: it asserts on global counter deltas.
+func TestRemoteCacheStaleAbort(t *testing.T) {
+	opts := commit.Options{Protocol: commit.INBAC, F: 1, Timeout: 25 * time.Millisecond}
+	sA, _, addrs := remoteDeployment(t, 3, opts)
+	sA.ConfigureReadCache(1024, 10*time.Second) // TTL far beyond the test
+	sB, err := OpenRemote(5, addrs, opts)       // second client, own cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sB.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const key = "stale-key"
+	seed := sB.Txn()
+	seed.Put(key, "v1")
+	if ok, err := seed.Commit(ctx); !ok || err != nil {
+		t.Fatalf("seed: ok=%v err=%v", ok, err)
+	}
+
+	// Fill A's cache with the current version.
+	warm := sA.Txn()
+	if v, ok, err := warm.Read(key); err != nil || !ok || v != "v1" {
+		t.Fatalf("warm read = (%q,%v,%v)", v, ok, err)
+	}
+
+	// B moves the key forward; A's cache is now stale.
+	bump := sB.Txn()
+	bump.Put(key, "v2")
+	if ok, err := bump.Commit(ctx); !ok || err != nil {
+		t.Fatalf("bump: ok=%v err=%v", ok, err)
+	}
+
+	staleAb0 := obs.M.CounterValue("kv.cache.stale_abort")
+	shardStale0 := obs.M.CounterValue("kv.conflict.stale_read")
+	stale := sA.Txn()
+	v, ok, err := stale.Read(key)
+	if err != nil || !ok || v != "v1" {
+		t.Fatalf("stale cached read = (%q,%v,%v), want cache's v1", v, ok, err)
+	}
+	stale.Put(key, "v3")
+	if ok, err := stale.Commit(ctx); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("transaction built on a stale cached read committed")
+	}
+	waitFor2 := func(what string, cond func() bool) {
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	// The abort's note runs async after the future resolves.
+	waitFor2("stale-abort attribution", func() bool {
+		return obs.M.CounterValue("kv.cache.stale_abort") > staleAb0
+	})
+	if d := obs.M.CounterValue("kv.conflict.stale_read") - shardStale0; d < 1 {
+		t.Fatalf("shard-side stale_read delta = %d, want >= 1", d)
+	}
+
+	// The abort invalidated the entry: the retry re-reads the shard's v2
+	// and commits.
+	waitFor2("retry after invalidation", func() bool {
+		retry := sA.Txn()
+		v, ok, err := retry.Read(key)
+		if err != nil || !ok {
+			return false
+		}
+		if v != "v2" {
+			t.Fatalf("post-abort read = %q, want fresh v2", v)
+		}
+		retry.Put(key, "v3")
+		committed, err := retry.Commit(ctx)
+		return err == nil && committed
+	})
+	if v, _, err := sA.Read(key); err != nil || v != "v3" {
+		t.Fatalf("final read = (%q,%v), want v3", v, err)
+	}
+}
+
+// TestRemoteCacheOwnWriteFreshness: a committed read-modify-write leaves
+// the cache entry FRESH (version readVer+1, exactly what the shard now
+// holds), so the next transaction's cached read survives Prepare.
+// Not parallel: asserts on global counter deltas.
+func TestRemoteCacheOwnWriteFreshness(t *testing.T) {
+	opts := commit.Options{Protocol: commit.INBAC, F: 1, Timeout: 25 * time.Millisecond}
+	s, _, _ := remoteDeployment(t, 3, opts)
+	s.ConfigureReadCache(1024, 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const key = "rmw-key"
+	seed := s.Txn()
+	seed.Put(key, "0")
+	if ok, err := seed.Commit(ctx); !ok || err != nil {
+		t.Fatalf("seed: ok=%v err=%v", ok, err)
+	}
+
+	// Prime the cache, then read-modify-write through it repeatedly: after
+	// the first wire read, every iteration's read must be a cache hit AND
+	// every commit must succeed (a stale or wrongly-versioned entry would
+	// abort at Prepare).
+	for i := 0; i < 4; i++ {
+		txn := s.Txn()
+		if _, ok, err := txn.Read(key); err != nil || !ok {
+			t.Fatalf("iter %d read: ok=%v err=%v", i, ok, err)
+		}
+		written := fmt.Sprintf("n%d", i)
+		txn.Put(key, written)
+		ok, err := txn.Commit(ctx)
+		if err != nil || !ok {
+			t.Fatalf("iter %d: rmw through the cache aborted: ok=%v err=%v", i, ok, err)
+		}
+		// note() runs async post-resolution; wait until the entry carries
+		// THIS iteration's value (a mere hit could be the pre-commit fetch)
+		// before the next iteration reads through the cache.
+		rb := s.b.(*remoteBackend)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if v, _, _, hit := rb.cache.get(key); hit && v == written {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("iter %d: cache entry not refreshed after commit", i)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	hit0 := obs.M.CounterValue("kv.cache.hit")
+	txn := s.Txn()
+	if _, ok, err := txn.Read(key); err != nil || !ok {
+		t.Fatalf("final read: ok=%v err=%v", ok, err)
+	}
+	if d := obs.M.CounterValue("kv.cache.hit") - hit0; d != 1 {
+		t.Fatalf("final read hit delta = %d, want 1 (served by the cache)", d)
+	}
+	txn.Put(key, "last")
+	if ok, err := txn.Commit(ctx); err != nil || !ok {
+		t.Fatalf("final rmw: ok=%v err=%v", ok, err)
+	}
+	if v, _, err := s.Read(key); err != nil || v != "last" {
+		t.Fatalf("shard state = (%q,%v), want last", v, err)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"atomiccommit/commit"
 )
@@ -70,17 +71,43 @@ var (
 	_ Committer = (*commit.Client)(nil)
 )
 
+// readResult is one key's answer from a backend read: the committed value,
+// presence, the version to validate at Prepare, and whether it was served
+// from the client-side read cache (no WAN leg; the transaction remembers,
+// for abort attribution and invalidation).
+type readResult struct {
+	val    string
+	ok     bool
+	ver    uint64
+	cached bool
+}
+
 // backend is the runtime-specific half of the store: how reads reach a
 // shard and how a transaction's footprints are staged before the commit
 // protocol runs.
 type backend interface {
-	// read returns key's latest committed value, presence, and version.
-	read(key string) (string, bool, uint64, error)
+	// read returns key's committed state. ctx bounds the read leg (remote
+	// runtimes; local reads never block). useCache allows answering from
+	// the client-side versioned read cache — safe only for transactional
+	// reads, whose version is revalidated at Prepare; non-transactional
+	// reads must pass false to observe the shard's latest committed state.
+	read(ctx context.Context, key string, useCache bool) (readResult, error)
+	// readMulti returns the committed state of every key, in input order,
+	// fanning out one batched request per owning shard in parallel — at
+	// most one WAN round trip of wall-clock whatever the key spread.
+	readMulti(ctx context.Context, keys []string) ([]readResult, error)
 	// submit stages fps (keyed by shard index) and starts the commit for
 	// txID. The returned cleanup — which may be nil — releases staged
 	// state if the protocol instance dies of an infrastructure error
 	// (Txn.Err != nil) and its Commit/Abort callbacks never fire.
 	submit(ctx context.Context, txID string, fps map[int]*footprint) (*commit.Txn, func(), error)
+	// note observes a decided transaction's outcome so the backend can
+	// maintain its client-side read cache: committed read-modify-writes
+	// become fresh entries, blind writes invalidate, and an abort that
+	// consumed cached reads invalidates them (and counts toward the
+	// stale-abort metric). cached lists the keys whose reads were cache
+	// hits.
+	note(committed bool, reads map[string]uint64, writes map[string]write, cached []string)
 }
 
 // footprint is a transaction's per-shard read and write set, split by
@@ -160,7 +187,7 @@ func (s *Store) Txn() *Txn {
 // Get is a non-transactional read of the latest committed value. Over a
 // remote runtime a failed read reports absent; use Read to see the error.
 func (s *Store) Get(key string) (string, bool) {
-	v, ok, _, err := s.b.read(key)
+	v, ok, err := s.Read(key)
 	if err != nil {
 		return "", false
 	}
@@ -169,9 +196,26 @@ func (s *Store) Get(key string) (string, bool) {
 
 // Read is a non-transactional read that surfaces runtime errors (an
 // unreachable shard owner, a closed store). Local stores never error.
+// Read always consults the owning shard — never the client-side read
+// cache, which is only safe for transactional reads (a stale cached
+// version there costs an OCC abort at Prepare; a non-transactional read
+// has no such validation step).
 func (s *Store) Read(key string) (string, bool, error) {
-	v, ok, _, err := s.b.read(key)
-	return v, ok, err
+	r, err := s.b.read(context.Background(), key, false)
+	return r.val, r.ok, err
+}
+
+// ConfigureReadCache resizes the remote runtime's client-side versioned
+// read cache: capacity entries served for at most ttl before expiring
+// (ttl <= 0 means no staleness bound). capacity 0 disables the cache —
+// every transactional read pays its WAN round trip again. A stale hit can
+// only cost an OCC abort (Prepare revalidates every read version), never
+// an incorrect commit. No-op on local stores, which have no WAN to skip.
+// Not safe to call concurrently with in-flight transactions.
+func (s *Store) ConfigureReadCache(capacity int, ttl time.Duration) {
+	if rb, ok := s.b.(*remoteBackend); ok {
+		rb.cache = newReadCache(capacity, ttl)
+	}
 }
 
 // shardFor returns the in-process shard owning key. Only valid for Open
@@ -198,10 +242,20 @@ type localBackend struct {
 	shards []*Shard
 }
 
-func (b *localBackend) read(key string) (string, bool, uint64, error) {
+func (b *localBackend) read(_ context.Context, key string, _ bool) (readResult, error) {
 	v, ok, ver := b.shards[shardIndex(key, len(b.shards))].readCommitted(key)
-	return v, ok, ver, nil
+	return readResult{val: v, ok: ok, ver: ver}, nil
 }
+
+func (b *localBackend) readMulti(ctx context.Context, keys []string) ([]readResult, error) {
+	out := make([]readResult, len(keys))
+	for i, key := range keys {
+		out[i], _ = b.read(ctx, key, false)
+	}
+	return out, nil
+}
+
+func (b *localBackend) note(bool, map[string]uint64, map[string]write, []string) {}
 
 func (b *localBackend) submit(ctx context.Context, txID string, fps map[int]*footprint) (*commit.Txn, func(), error) {
 	involved := make([]*Shard, 0, len(fps))

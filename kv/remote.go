@@ -1,27 +1,41 @@
 // The distributed runtime: one Shard hosted per commit.Peer process, and a
 // client-side Store that reaches them over TCP through commit.Client.
 //
-// A remote transaction runs in three legs:
+// A remote transaction costs WAN legs, and this file exists to spend as
+// few as the protocol allows:
 //
-//  1. Reads are Query round-trips (readMsg -> readReplyMsg) to each key's
-//     shard owner, recording observed versions exactly like local reads.
-//  2. Submit ships per-shard footprints (footprintMsg) to their owners and
-//     waits for every stage ack — only then can the commit begin, so no
-//     shard can be asked to vote on a footprint it has not received.
-//  3. The client sends "go" to one coordinator peer (preferring one in its
-//     own region when a geo profile is configured) and the peers run the
-//     commit protocol among themselves; the client only learns the result.
+//  1. Reads are batched Query round-trips (readMsg -> readReplyMsg):
+//     Txn.GetMulti fans out one query per owning shard in parallel (one
+//     leg of wall-clock for the whole read set), a per-owner coalescer
+//     merges concurrent single-key reads from different in-flight
+//     transactions into one query per flush window (the double-buffer
+//     idiom of internal/live/tcp.go), and a client-side versioned read
+//     cache answers repeat reads with no leg at all. A stale cache hit is
+//     safe by construction — shard Prepare revalidates every read
+//     version, so the worst case is an OCC abort.
+//  2. Submit ships per-shard footprints (footprintMsg) to their owners
+//     and waits for every stage ack before the commit begins — except the
+//     coordinator's own footprint, which rides INSIDE the go message
+//     (stage+go piggyback): same-connection delivery makes the ack
+//     barrier unnecessary for that slice, so a single-shard transaction
+//     commits in one client leg instead of two.
+//  3. The client sends "go" to one coordinator peer (preferring one in
+//     its own region when a geo profile is configured) and the peers run
+//     the commit protocol among themselves; the client only learns the
+//     result.
 //
 // After "go" is sent the protocol owns the outcome: the client never
 // unstages, because a one-sided release could break atomicity. Footprints
 // orphaned by a client crash are reclaimed by the peers' stage TTL, which
 // also poisons the transaction ID so a pathologically late "go" answers
-// abort.
+// abort. (A piggybacked footprint has no orphan window: it arrives in the
+// same message as the go.)
 
 package kv
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -29,6 +43,28 @@ import (
 	"atomiccommit/commit"
 	"atomiccommit/internal/core"
 	"atomiccommit/internal/live"
+	"atomiccommit/internal/obs"
+)
+
+// WAN-leg accounting: mLegs counts the sequential round-trip phases remote
+// transactions paid (a parallel fan-out is one phase — it costs one RTT of
+// wall-clock); mReadBatches counts readMsg queries actually put on the
+// wire, so batches much smaller than reads means the coalescer and the
+// cache are doing their jobs. The geo bench reports both per transaction.
+var (
+	mLegs        = obs.M.Counter("kv.remote.legs")
+	mReadBatches = obs.M.Counter("kv.remote.read.batches")
+	mReadRetries = obs.M.Counter("kv.remote.read.retries")
+)
+
+// Read-cache defaults for OpenRemote: entries, and staleness TTL in units
+// of the effective protocol timeout U (itself derived from the geo profile
+// when one is set, so hotter links get proportionally longer TTLs). A
+// stale entry costs at most an OCC abort; the TTL plus invalidate-on-abort
+// keep a hot geo workload from thrashing on them.
+const (
+	defaultCacheCapacity = 4096
+	defaultCacheTTLUnits = 16
 )
 
 // ServeShard hosts shard `index` (0-based) as commit peer index+1 listening
@@ -54,6 +90,9 @@ func ServeShard(index int, addrs []string, opts commit.Options) (*commit.Peer, e
 // len(addrs)+2, ... for concurrent clients, and give every client a
 // distinct ID. opts must agree with the peers' (same protocol, same
 // timeout base, same Net profile) for the deployment to behave.
+//
+// The store starts with the versioned read cache enabled at package
+// defaults; tune or disable it with Store.ConfigureReadCache.
 func OpenRemote(clientID int, addrs []string, opts commit.Options) (*Store, error) {
 	if len(addrs) < 2 {
 		return nil, fmt.Errorf("%w: got %d peers", ErrTooFewShards, len(addrs))
@@ -63,8 +102,12 @@ func OpenRemote(clientID int, addrs []string, opts commit.Options) (*Store, erro
 		return nil, fmt.Errorf("kv: %w", err)
 	}
 	return &Store{
-		com:      cl,
-		b:        &remoteBackend{client: cl, n: len(addrs), net: opts.Net},
+		com: cl,
+		b: &remoteBackend{
+			client: cl, n: len(addrs), net: opts.Net,
+			cache:      newReadCache(defaultCacheCapacity, defaultCacheTTLUnits*cl.Timeout()),
+			coalescers: make(map[int]*readCoalescer, len(addrs)),
+		},
 		nshards:  len(addrs),
 		proto:    protoOf(opts),
 		idPrefix: fmt.Sprintf("kv-c%d-", clientID),
@@ -76,19 +119,229 @@ type remoteBackend struct {
 	client *commit.Client
 	n      int
 	net    *live.NetProfile
+	cache  *readCache // nil = disabled
+
+	mu         sync.Mutex
+	coalescers map[int]*readCoalescer // by owning peer (1-based)
 }
 
-func (b *remoteBackend) read(key string) (string, bool, uint64, error) {
-	owner := shardIndex(key, b.n) + 1
-	reply, err := b.client.Query(nil, owner, readMsg{Keys: []string{key}})
+// readBatch is one coalesced wire read: the deduplicated keys headed to
+// one owner, and (after done closes) their results or the shared error.
+// Riders find their answer via pos; error demux is per caller — everyone
+// on a failed batch gets the same owner-attributed error, wrapped by the
+// caller with whatever context it has.
+type readBatch struct {
+	keys []string
+	pos  map[string]int
+	done chan struct{}
+	res  []readResult
+	err  error
+}
+
+// readCoalescer merges concurrent reads bound for one shard owner into one
+// readMsg per flush window, double-buffered exactly like the TCP
+// transport's frame writer: while one batch is on the wire, every new read
+// accumulates into the next pending batch; when the reply lands, the
+// pending batch (all riders that arrived during the round trip) flies as
+// one query. A lone read still flies immediately.
+type readCoalescer struct {
+	b     *remoteBackend
+	owner int
+
+	mu      sync.Mutex
+	pending *readBatch
+	busy    bool // a run loop is draining batches
+}
+
+func (b *remoteBackend) coalescer(owner int) *readCoalescer {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	co, ok := b.coalescers[owner]
+	if !ok {
+		co = &readCoalescer{b: b, owner: owner}
+		b.coalescers[owner] = co
+	}
+	return co
+}
+
+// enqueue adds keys to the owner's pending batch (deduplicated: two
+// transactions reading one key share a slot) and returns the batch to wait
+// on, launching the drain loop if none is in flight.
+func (co *readCoalescer) enqueue(keys []string) *readBatch {
+	co.mu.Lock()
+	batch := co.pending
+	if batch == nil {
+		batch = &readBatch{pos: make(map[string]int, len(keys)), done: make(chan struct{})}
+		co.pending = batch
+	}
+	for _, k := range keys {
+		if _, ok := batch.pos[k]; !ok {
+			batch.pos[k] = len(batch.keys)
+			batch.keys = append(batch.keys, k)
+		}
+	}
+	launch := !co.busy
+	if launch {
+		co.busy = true
+	}
+	co.mu.Unlock()
+	if launch {
+		go co.run()
+	}
+	return batch
+}
+
+// run drains batches until none is pending. Exactly one run loop exists
+// per coalescer at a time (the busy flag), so batches resolve in order and
+// at most one read query per owner is ever in flight from this client.
+func (co *readCoalescer) run() {
+	for {
+		co.mu.Lock()
+		batch := co.pending
+		co.pending = nil
+		if batch == nil {
+			co.busy = false
+			co.mu.Unlock()
+			return
+		}
+		co.mu.Unlock()
+		batch.res, batch.err = co.b.fetch(co.owner, batch.keys)
+		close(batch.done)
+	}
+}
+
+// fetch puts one batched read on the wire and fills the cache from the
+// reply. The query is bounded by the client's own deadline (a multiple of
+// the timeout unit), not any single caller's context: the batch serves
+// many callers, each of which stops *waiting* when its own context
+// expires.
+func (b *remoteBackend) fetch(owner int, keys []string) ([]readResult, error) {
+	mReadBatches.Add(1)
+	reply, err := b.client.Query(context.Background(), owner, readMsg{Keys: keys})
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		// The query's own (generous) deadline expired — a reply lost under
+		// load, not a caller cancellation. One retry: the coalescer fans a
+		// single batch failure out to every merged reader, so a transient
+		// loss here is disproportionately expensive.
+		mReadRetries.Add(1)
+		reply, err = b.client.Query(context.Background(), owner, readMsg{Keys: keys})
+	}
 	if err != nil {
-		return "", false, 0, fmt.Errorf("shard owner P%d: %w", owner, err)
+		return nil, fmt.Errorf("shard owner P%d: %w", owner, err)
 	}
 	r, ok := reply.(readReplyMsg)
-	if !ok || len(r.Vals) != 1 || len(r.Oks) != 1 || len(r.Vers) != 1 {
-		return "", false, 0, fmt.Errorf("shard owner P%d: malformed read reply %T", owner, reply)
+	if !ok || len(r.Vals) != len(keys) || len(r.Oks) != len(keys) || len(r.Vers) != len(keys) {
+		return nil, fmt.Errorf("shard owner P%d: malformed read reply %T", owner, reply)
 	}
-	return r.Vals[0], r.Oks[0], r.Vers[0], nil
+	res := make([]readResult, len(keys))
+	for i, key := range keys {
+		res[i] = readResult{val: r.Vals[i], ok: r.Oks[i], ver: r.Vers[i]}
+		b.cache.put(key, r.Vals[i], r.Oks[i], r.Vers[i])
+	}
+	return res, nil
+}
+
+// await blocks until the batch resolves or ctx expires (the batch flies on
+// for its other riders either way).
+func await(ctx context.Context, batch *readBatch) error {
+	select {
+	case <-batch.done:
+		return batch.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (b *remoteBackend) read(ctx context.Context, key string, useCache bool) (readResult, error) {
+	if useCache {
+		if val, ok, ver, hit := b.cache.get(key); hit {
+			return readResult{val: val, ok: ok, ver: ver, cached: true}, nil
+		}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	owner := shardIndex(key, b.n) + 1
+	mLegs.Add(1)
+	batch := b.coalescer(owner).enqueue([]string{key})
+	if err := await(ctx, batch); err != nil {
+		return readResult{}, fmt.Errorf("read %q via P%d: %w", key, owner, err)
+	}
+	return batch.res[batch.pos[key]], nil
+}
+
+// readMulti answers every key in input order, serving what it can from the
+// cache and fanning the misses out through the per-owner coalescers in
+// parallel — one WAN round trip of wall-clock for the whole set, shared
+// with any concurrent readers of the same owners.
+func (b *remoteBackend) readMulti(ctx context.Context, keys []string) ([]readResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]readResult, len(keys))
+	byOwner := make(map[int][]int) // owner -> positions in keys still to fetch
+	for i, key := range keys {
+		if val, ok, ver, hit := b.cache.get(key); hit {
+			out[i] = readResult{val: val, ok: ok, ver: ver, cached: true}
+			continue
+		}
+		owner := shardIndex(key, b.n) + 1
+		byOwner[owner] = append(byOwner[owner], i)
+	}
+	if len(byOwner) == 0 {
+		return out, nil
+	}
+	mLegs.Add(1) // the fan-out is parallel: one sequential phase
+	type flight struct {
+		batch *readBatch
+		idxs  []int
+	}
+	flights := make([]flight, 0, len(byOwner))
+	for owner, idxs := range byOwner {
+		ks := make([]string, len(idxs))
+		for j, i := range idxs {
+			ks[j] = keys[i]
+		}
+		flights = append(flights, flight{batch: b.coalescer(owner).enqueue(ks), idxs: idxs})
+	}
+	for _, f := range flights {
+		if err := await(ctx, f.batch); err != nil {
+			return nil, fmt.Errorf("read %q: %w", keys[f.idxs[0]], err)
+		}
+		for _, i := range f.idxs {
+			out[i] = f.batch.res[f.batch.pos[keys[i]]]
+		}
+	}
+	return out, nil
+}
+
+// note maintains the read cache from a decided transaction: a committed
+// read-modify-write's post-commit version is exactly readVersion+1 (the
+// write intent held from Prepare through Commit excluded every other
+// writer), so the freshest possible entry costs nothing; a blind write or
+// delete invalidates (the new version is unknown client-side); an abort
+// that consumed cached reads counts toward the stale-abort metric and
+// invalidates them so the retry re-reads.
+func (b *remoteBackend) note(committed bool, reads map[string]uint64, writes map[string]write, cached []string) {
+	if b.cache == nil {
+		return
+	}
+	if committed {
+		for key, w := range writes {
+			if ver, wasRead := reads[key]; wasRead && !w.tombstone {
+				b.cache.put(key, w.value, true, ver+1)
+			} else {
+				b.cache.invalidate(key)
+			}
+		}
+		return
+	}
+	if len(cached) > 0 {
+		mCacheStaleAbort.Add(1)
+		for _, key := range cached {
+			b.cache.invalidate(key)
+		}
+	}
 }
 
 func (b *remoteBackend) submit(ctx context.Context, txID string, fps map[int]*footprint) (*commit.Txn, func(), error) {
@@ -97,35 +350,64 @@ func (b *remoteBackend) submit(ctx context.Context, txID string, fps map[int]*fo
 		idxs = append(idxs, i)
 	}
 	sort.Ints(idxs)
+	coord := b.coordinator(idxs)
 
-	// Stage at every involved owner in parallel and collect all acks
-	// before go: cross-connection ordering is not FIFO, so the commit must
-	// not start until every footprint has provably landed.
-	errs := make([]error, len(idxs))
-	var wg sync.WaitGroup
-	for j, i := range idxs {
-		wg.Add(1)
-		go func(j, i int) {
-			defer wg.Done()
-			if err := b.client.Stage(ctx, txID, i+1, footprintToMsg(fps[i])); err != nil {
-				errs[j] = fmt.Errorf("stage at P%d: %w", i+1, err)
-			}
-		}(j, i)
+	// Stage at every involved owner EXCEPT the coordinator, in parallel,
+	// and collect all acks before go: cross-connection ordering is not
+	// FIFO, so the commit must not start until every cross-connection
+	// footprint has provably landed. The coordinator's own footprint needs
+	// no ack — it rides inside the go message below, on the same
+	// connection, where ordering is trivial.
+	others := make([]int, 0, len(idxs))
+	for _, i := range idxs {
+		if i+1 != coord {
+			others = append(others, i)
+		}
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			// Nothing has begun: walking back the sibling stages is safe
-			// (and the peers' stage TTL backstops any unstage we lose).
-			for _, i := range idxs {
-				b.client.Unstage(txID, i+1)
+	if len(others) > 0 {
+		mLegs.Add(1) // the stage barrier: one parallel phase
+		errs := make([]error, len(others))
+		var wg sync.WaitGroup
+		for j, i := range others {
+			wg.Add(1)
+			go func(j, i int) {
+				defer wg.Done()
+				if err := b.client.Stage(ctx, txID, i+1, footprintToMsg(fps[i])); err != nil {
+					errs[j] = fmt.Errorf("stage at P%d: %w", i+1, err)
+				}
+			}(j, i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				// Nothing has begun: walking back the sibling stages is safe
+				// (and the peers' stage TTL backstops any unstage we lose).
+				for _, i := range others {
+					b.client.Unstage(txID, i+1)
+				}
+				return nil, nil, fmt.Errorf("kv: %s: %w", txID, err)
 			}
-			return nil, nil, fmt.Errorf("kv: %s: %w", txID, err)
 		}
 	}
 
+	// The go leg, with the coordinator's footprint piggybacked: one WAN
+	// round trip where stage-ack-then-go paid two. An oversized footprint
+	// falls back to the two-phase path (ack first, then a bare go).
+	mLegs.Add(1)
+	ct, err := b.client.StageGo(ctx, txID, coord, footprintToMsg(fps[coord-1]))
+	if err != nil {
+		mLegs.Add(1)
+		if serr := b.client.Stage(ctx, txID, coord, footprintToMsg(fps[coord-1])); serr != nil {
+			for _, i := range others {
+				b.client.Unstage(txID, i+1)
+			}
+			b.client.Unstage(txID, coord)
+			return nil, nil, fmt.Errorf("kv: %s: stage at P%d: %w", txID, coord, serr)
+		}
+		ct = b.client.SubmitAt(ctx, txID, coord)
+	}
 	// No cleanup func: once go is sent the peers own the staged state.
-	return b.client.SubmitAt(ctx, txID, b.coordinator(idxs)), nil, nil
+	return ct, nil, nil
 }
 
 // coordinator picks which involved peer drives the commit: one in the

@@ -1,0 +1,333 @@
+package kv
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"atomiccommit/commit"
+	"atomiccommit/internal/core"
+	"atomiccommit/internal/live"
+	"atomiccommit/internal/obs"
+)
+
+// keysAcrossShards returns count distinct keys per shard, prefix-tagged.
+func keysAcrossShards(t *testing.T, n, count int, prefix string) [][]string {
+	t.Helper()
+	out := make([][]string, n)
+	for i := 0; ; i++ {
+		if i > 100_000 {
+			t.Fatal("keyspace exhausted before covering every shard")
+		}
+		k := fmt.Sprintf("%s-%d", prefix, i)
+		si := shardIndex(k, n)
+		if len(out[si]) < count {
+			out[si] = append(out[si], k)
+		}
+		full := true
+		for _, ks := range out {
+			if len(ks) < count {
+				full = false
+			}
+		}
+		if full {
+			return out
+		}
+	}
+}
+
+// TestRemoteGetMultiFanOut: one GetMulti spanning every shard must return
+// every key correctly and pay exactly ONE WAN leg (the per-shard queries fan
+// out in parallel), where per-key Gets paid one leg each. Not parallel: it
+// asserts on global counter deltas.
+func TestRemoteGetMultiFanOut(t *testing.T) {
+	opts := commit.Options{Protocol: commit.INBAC, F: 1, Timeout: 25 * time.Millisecond}
+	s, _, _ := remoteDeployment(t, 3, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	byShard := keysAcrossShards(t, 3, 2, "fan")
+	seed := s.Txn()
+	want := make(map[string]string)
+	for si, ks := range byShard {
+		for j, k := range ks {
+			v := fmt.Sprintf("v-%d-%d", si, j)
+			seed.Put(k, v)
+			want[k] = v
+		}
+	}
+	if ok, err := seed.Commit(ctx); !ok || err != nil {
+		t.Fatalf("seed: ok=%v err=%v", ok, err)
+	}
+
+	var all []string
+	for _, ks := range byShard {
+		all = append(all, ks...)
+	}
+	all = append(all, all[0]) // duplicate: GetMulti must tolerate and agree
+	legs0 := obs.M.CounterValue("kv.remote.legs")
+	txn := s.Txn().WithContext(ctx)
+	vals, oks, err := txn.GetMulti(all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(all) || len(oks) != len(all) {
+		t.Fatalf("GetMulti returned %d/%d answers for %d keys", len(vals), len(oks), len(all))
+	}
+	for i, k := range all {
+		if !oks[i] || vals[i] != want[k] {
+			t.Fatalf("key %q = (%q,%v), want (%q,true)", k, vals[i], oks[i], want[k])
+		}
+	}
+	if d := obs.M.CounterValue("kv.remote.legs") - legs0; d != 1 {
+		t.Fatalf("cross-shard GetMulti paid %d legs, want 1 (parallel fan-out)", d)
+	}
+
+	// Absent keys and pending writes resolve without extra confusion.
+	txn.Put("fan-pending", "local")
+	vals, oks, err = txn.GetMulti("fan-pending", "fan-definitely-absent-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oks[0] || vals[0] != "local" {
+		t.Fatalf("pending write read back as (%q,%v)", vals[0], oks[0])
+	}
+	if oks[1] {
+		t.Fatalf("absent key reported present (%q)", vals[1])
+	}
+}
+
+// TestRemoteCommitLegs pins the WAN-leg cost of the commit path: a
+// single-shard transaction pays ONE leg (piggybacked stage+go), a
+// cross-shard transaction pays TWO (parallel stage barrier + go). This is
+// the tentpole's contract — a regression here re-adds a WAN round trip.
+// Not parallel: it asserts on global counter deltas.
+func TestRemoteCommitLegs(t *testing.T) {
+	opts := commit.Options{Protocol: commit.INBAC, F: 1, Timeout: 25 * time.Millisecond}
+	s, _, _ := remoteDeployment(t, 3, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	single := s.Txn()
+	single.Put(keyForShard(t, 0, 3), "a")
+	legs0 := obs.M.CounterValue("kv.remote.legs")
+	if ok, err := single.Commit(ctx); !ok || err != nil {
+		t.Fatalf("single-shard txn: ok=%v err=%v", ok, err)
+	}
+	if d := obs.M.CounterValue("kv.remote.legs") - legs0; d != 1 {
+		t.Fatalf("single-shard blind write paid %d legs, want 1 (stage+go)", d)
+	}
+
+	multi := s.Txn()
+	multi.Put(keyForShard(t, 0, 3), "b")
+	multi.Put(keyForShard(t, 1, 3), "b")
+	multi.Put(keyForShard(t, 2, 3), "b")
+	legs0 = obs.M.CounterValue("kv.remote.legs")
+	if ok, err := multi.Commit(ctx); !ok || err != nil {
+		t.Fatalf("cross-shard txn: ok=%v err=%v", ok, err)
+	}
+	if d := obs.M.CounterValue("kv.remote.legs") - legs0; d != 2 {
+		t.Fatalf("cross-shard blind write paid %d legs, want 2 (stage barrier + go)", d)
+	}
+}
+
+// TestRemoteCoalescerMerge: concurrent single-key reads from different
+// transactions bound for one owner must merge into few wire queries while
+// one is in flight. A two-region profile gives the in-flight window real
+// width; the later readers' batch forms during it. Not parallel: it asserts
+// on global counter deltas.
+func TestRemoteCoalescerMerge(t *testing.T) {
+	const oneWay = 30 * time.Millisecond
+	profile := &live.NetProfile{
+		Name:    "test-2r",
+		Regions: []string{"us", "eu"},
+		OneWay:  [][]time.Duration{{0, oneWay}, {oneWay, 0}},
+		Intra:   0,
+	}
+	// 2 shards: P1 round-robins to us, P2 to eu. Pin the client to us so
+	// its reads of shard 1 (owner P2) cross the 60ms round trip.
+	profile.Pin(core.ProcessID(3), "us")
+	opts := commit.Options{Protocol: commit.INBAC, F: 1, Timeout: 100 * time.Millisecond, Net: profile}
+	s, _, _ := remoteDeployment(t, 2, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const readers = 8
+	var keys []string
+	for i := 0; len(keys) < readers; i++ {
+		k := fmt.Sprintf("co-%d", i)
+		if shardIndex(k, 2) == 1 {
+			keys = append(keys, k)
+		}
+	}
+
+	batches0 := obs.M.CounterValue("kv.remote.read.batches")
+	legs0 := obs.M.CounterValue("kv.remote.legs")
+	errs := make([]error, readers)
+	var wg sync.WaitGroup
+	// First reader launches a batch; while it is on the 60ms round trip the
+	// rest arrive and accumulate into ONE pending batch.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, errs[0] = s.Txn().WithContext(ctx).Read(keys[0])
+	}()
+	time.Sleep(15 * time.Millisecond)
+	for i := 1; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = s.Txn().WithContext(ctx).Read(keys[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", i, err)
+		}
+	}
+	batches := obs.M.CounterValue("kv.remote.read.batches") - batches0
+	if batches < 1 || batches > 3 {
+		t.Fatalf("%d concurrent reads cost %d wire batches, want 2 (first + merged rest)", readers, batches)
+	}
+	// Per-caller leg accounting is unchanged by merging: every reader
+	// waited one round-trip phase.
+	if d := obs.M.CounterValue("kv.remote.legs") - legs0; d != readers {
+		t.Fatalf("legs delta = %d, want %d (one per reader)", d, readers)
+	}
+}
+
+// TestRemoteReadErrorDemux: concurrent reads riding one coalescer against a
+// dead owner must EACH get the owner-attributed error — a shared batch
+// failure demuxes to every caller, poisoning every transaction involved.
+func TestRemoteReadErrorDemux(t *testing.T) {
+	t.Parallel()
+	opts := commit.Options{Protocol: commit.INBAC, F: 1, Timeout: 10 * time.Millisecond}
+	addrs := kvAddrs(t, 2)
+	p0, err := ServeShard(0, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ServeShard(1, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p1.Close)
+	s, err := OpenRemote(3, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	p0.Close() // shard 0's owner is gone
+
+	const readers = 4
+	var keys []string
+	for i := 0; len(keys) < readers; i++ {
+		k := fmt.Sprintf("dead-%d", i)
+		if shardIndex(k, 2) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	errs := make([]error, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			txn := s.Txn().WithContext(ctx)
+			_, _, errs[i] = txn.Read(keys[i])
+			if errs[i] != nil {
+				// The error must poison the transaction.
+				if _, submitErr := txn.Submit(ctx); submitErr == nil {
+					errs[i] = fmt.Errorf("poisoned transaction submitted cleanly")
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("reader %d of a dead owner succeeded", i)
+		}
+		if !strings.Contains(err.Error(), "P1") {
+			t.Fatalf("reader %d error lacks the owner attribution: %v", i, err)
+		}
+	}
+}
+
+// TestRemoteGetMultiBankConservation is the bank invariant driven through
+// the batched read path with the cache enabled and the piggybacked commit
+// leg active — the tentpole's acceptance shape, run under -race in CI.
+func TestRemoteGetMultiBankConservation(t *testing.T) {
+	t.Parallel()
+	opts := commit.Options{Protocol: commit.INBAC, F: 1, Timeout: 25 * time.Millisecond, MaxInFlight: 64}
+	s, _, _ := remoteDeployment(t, 3, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	const accounts = 8
+	const initial = 100
+	acct := func(i int) string { return fmt.Sprintf("macct-%d", i) }
+	seed := s.Txn()
+	for i := 0; i < accounts; i++ {
+		seed.Put(acct(i), "100")
+	}
+	if ok, err := seed.Commit(ctx); !ok || err != nil {
+		t.Fatalf("seed: ok=%v err=%v", ok, err)
+	}
+
+	const workers = 4
+	const perWorker = 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				a := (w + k) % accounts
+				b := (w + k + 1 + k%(accounts-1)) % accounts
+				if a == b {
+					continue
+				}
+				txn := s.Txn().WithContext(ctx)
+				vals, oks, err := txn.GetMulti(acct(a), acct(b))
+				if err != nil || !oks[0] || !oks[1] {
+					continue // infra hiccup: abandon the builder
+				}
+				ai, bi := atoiOr(t, vals[0]), atoiOr(t, vals[1])
+				amt := 1 + (w+k)%5
+				txn.Put(acct(a), fmt.Sprintf("%d", ai-amt))
+				txn.Put(acct(b), fmt.Sprintf("%d", bi+amt))
+				txn.Commit(ctx) // aborts are fine; corruption is not
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sum := 0
+	for i := 0; i < accounts; i++ {
+		v, ok, err := s.Read(acct(i))
+		if err != nil || !ok {
+			t.Fatalf("final read %s: ok=%v err=%v", acct(i), ok, err)
+		}
+		sum += atoiOr(t, v)
+	}
+	if sum != accounts*initial {
+		t.Fatalf("money not conserved through GetMulti+cache: sum=%d want=%d", sum, accounts*initial)
+	}
+}
+
+func atoiOr(t *testing.T, s string) int {
+	t.Helper()
+	var n int
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		t.Fatalf("balance %q: %v", s, err)
+	}
+	return n
+}

@@ -98,6 +98,18 @@ func (sh *Shard) readCommitted(key string) (string, bool, uint64) {
 	return v, ok, sh.versions[key]
 }
 
+// readCommittedMulti answers a whole batch under one lock acquisition, so a
+// coalesced read observes one consistent committed snapshot of the shard
+// and the lock is not bounced once per key.
+func (sh *Shard) readCommittedMulti(keys []string, vals []string, oks []bool, vers []uint64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i, key := range keys {
+		v, ok := sh.data[key]
+		vals[i], oks[i], vers[i] = v, ok, sh.versions[key]
+	}
+}
+
 // stage registers a transaction's footprint ahead of Prepare. Keys in both
 // sets are treated as writes for locking purposes.
 func (sh *Shard) stage(txID string, reads map[string]uint64, writes map[string]write) {
@@ -143,9 +155,7 @@ func (sh *Shard) Query(m commit.Message) (commit.Message, error) {
 		Oks:  make([]bool, len(rq.Keys)),
 		Vers: make([]uint64, len(rq.Keys)),
 	}
-	for i, key := range rq.Keys {
-		reply.Vals[i], reply.Oks[i], reply.Vers[i] = sh.readCommitted(key)
-	}
+	sh.readCommittedMulti(rq.Keys, reply.Vals, reply.Oks, reply.Vers)
 	return reply, nil
 }
 

@@ -22,12 +22,29 @@ type readVal struct {
 // across the whole store. A Txn is single-use and not safe for concurrent
 // use.
 type Txn struct {
-	s         *Store
-	reads     map[string]uint64
-	cache     map[string]readVal
-	writes    map[string]write
-	submitted bool
-	err       error // sticky: a failed remote read poisons the transaction
+	s           *Store
+	ctx         context.Context // bounds read legs; Background when unset
+	reads       map[string]uint64
+	cache       map[string]readVal
+	writes      map[string]write
+	cachedReads []string // keys served from the client-side read cache
+	submitted   bool
+	err         error // sticky: a failed remote read poisons the transaction
+}
+
+// WithContext sets the context bounding the transaction's read legs (over a
+// remote runtime, every read is a WAN round trip); Submit/Commit take their
+// own context for the commit itself. Returns t for chaining.
+func (t *Txn) WithContext(ctx context.Context) *Txn {
+	t.ctx = ctx
+	return t
+}
+
+func (t *Txn) readCtx() context.Context {
+	if t.ctx != nil {
+		return t.ctx
+	}
+	return context.Background()
 }
 
 // use panics if the transaction was already submitted: its footprint has
@@ -61,14 +78,71 @@ func (t *Txn) Read(key string) (string, bool, error) {
 	if r, ok := t.cache[key]; ok {
 		return r.value, r.ok, nil
 	}
-	v, ok, ver, err := t.s.b.read(key)
+	r, err := t.s.b.read(t.readCtx(), key, true)
 	if err != nil {
 		t.err = fmt.Errorf("kv: read %q: %w", key, err)
 		return "", false, t.err
 	}
-	t.reads[key] = ver
-	t.cache[key] = readVal{value: v, ok: ok}
-	return v, ok, nil
+	t.record(key, r)
+	return r.val, r.ok, nil
+}
+
+// record buffers one backend read result into the transaction's read set.
+func (t *Txn) record(key string, r readResult) {
+	t.reads[key] = r.ver
+	t.cache[key] = readVal{value: r.val, ok: r.ok}
+	if r.cached {
+		t.cachedReads = append(t.cachedReads, key)
+	}
+}
+
+// GetMulti reads many keys at once, in input order. Over a remote runtime
+// the whole miss set costs at most one WAN round trip of wall-clock: the
+// backend fans out one batched query per owning shard in parallel (and the
+// client-side read cache may answer some keys with no round trip at all).
+// Keys already written or read by this transaction are served from its own
+// buffers, like Get. A failed read poisons the transaction.
+func (t *Txn) GetMulti(keys ...string) ([]string, []bool, error) {
+	t.use()
+	if t.err != nil {
+		return nil, nil, t.err
+	}
+	var missing []string
+	seen := make(map[string]struct{}, len(keys))
+	for _, key := range keys {
+		if _, ok := t.writes[key]; ok {
+			continue
+		}
+		if _, ok := t.cache[key]; ok {
+			continue
+		}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		missing = append(missing, key)
+	}
+	if len(missing) > 0 {
+		rs, err := t.s.b.readMulti(t.readCtx(), missing)
+		if err != nil {
+			t.err = fmt.Errorf("kv: %w", err)
+			return nil, nil, t.err
+		}
+		for i, key := range missing {
+			t.record(key, rs[i])
+		}
+	}
+	vals := make([]string, len(keys))
+	oks := make([]bool, len(keys))
+	for i, key := range keys {
+		if w, ok := t.writes[key]; ok {
+			vals[i], oks[i] = w.value, !w.tombstone
+			continue
+		}
+		r := t.cache[key]
+		vals[i], oks[i] = r.value, r.ok
+	}
+	return vals, oks, nil
 }
 
 // Put buffers a write of key = value.
@@ -90,6 +164,7 @@ type Pending struct {
 	txn     *commit.Txn
 	clean   func() // backend-provided; may be nil (remote: peers own cleanup)
 	release sync.Once
+	noted   chan struct{} // closed after the post-decision cache note; nil for trivial txns
 }
 
 // cleanup releases staged state after an infrastructure error (the
@@ -120,7 +195,16 @@ func (p *Pending) Wait(ctx context.Context) (bool, error) {
 	select {
 	case <-p.txn.Done():
 		// Resolved: release the footprint synchronously on infrastructure
-		// errors so callers observe a clean store when Wait returns.
+		// errors so callers observe a clean store when Wait returns, and
+		// join the post-decision cache note (fresh entries for this
+		// transaction's committed writes, invalidations after an abort) so
+		// a follow-up read on this store observes the outcome —
+		// read-your-writes across transactions. The note goroutine is past
+		// its own wait on Done here and runs straight-line local code, so
+		// this receive is bounded.
+		if p.noted != nil {
+			<-p.noted
+		}
 		p.cleanup()
 	default:
 	}
@@ -168,15 +252,22 @@ func (t *Txn) Submit(ctx context.Context) (*Pending, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Pending{id: txID, txn: ct, clean: clean}
+	p := &Pending{id: txID, txn: ct, clean: clean, noted: make(chan struct{})}
 
 	// If the protocol instance resolves with an infrastructure error (ctx
 	// expiry, closed store), the Commit/Abort callbacks never fire; release
 	// the staged footprint so its keys are not pinned forever. Outcome
 	// callbacks complete before the future resolves, so this cannot race a
-	// real decision.
+	// real decision. A real decision instead feeds the backend's read cache
+	// (fresh entries from committed writes, invalidations after aborts);
+	// Wait joins p.noted so the refreshed cache is visible by the time it
+	// returns.
 	go func() {
+		defer close(p.noted)
 		<-ct.Done()
+		if ct.Err() == nil {
+			t.s.b.note(ct.Committed(), t.reads, t.writes, t.cachedReads)
+		}
 		p.cleanup()
 	}()
 	return p, nil

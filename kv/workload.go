@@ -96,13 +96,22 @@ func (g *Gen) nextKey() uint64 {
 	return g.zipf.next(g.r)
 }
 
-// Apply replays the operations on a transaction builder: reads Get, writes
-// Put a fresh value.
+// Apply replays the operations on a transaction builder: all reads go
+// through one GetMulti (one WAN round trip of wall-clock over a remote
+// runtime, however many shards own the keys), then writes Put a fresh
+// value in operation order.
 func (g *Gen) Apply(t *Txn, ops []Op) {
+	var reads []string
 	for _, op := range ops {
 		if op.Read {
-			t.Get(op.Key)
-		} else {
+			reads = append(reads, op.Key)
+		}
+	}
+	if len(reads) > 0 {
+		t.GetMulti(reads...)
+	}
+	for _, op := range ops {
+		if !op.Read {
 			g.vals++
 			t.Put(op.Key, fmt.Sprintf("v-%d", g.vals))
 		}
@@ -166,11 +175,16 @@ type RunConfig struct {
 
 // RunStats is the outcome of a workload run. Latencies are the per-
 // transaction protocol latencies (dispatch to decision), sorted ascending.
+// WallLatencies are the full user-visible transaction latencies (Txn
+// creation to decision), sorted ascending — unlike Latencies they include
+// the client's read legs and stage legs, so collapsing WAN round trips
+// shows up here even when the protocol span is timer-bound.
 type RunStats struct {
-	Committed int
-	Aborted   int
-	Elapsed   time.Duration
-	Latencies []time.Duration
+	Committed     int
+	Aborted       int
+	Elapsed       time.Duration
+	Latencies     []time.Duration
+	WallLatencies []time.Duration
 }
 
 // AbortRate is the fraction of transactions that decided abort.
@@ -190,13 +204,23 @@ func (s RunStats) TxnsPerSec() float64 {
 	return float64(s.Committed+s.Aborted) / s.Elapsed.Seconds()
 }
 
-// Percentile returns the p-th (0..1) latency percentile.
+// Percentile returns the p-th (0..1) protocol latency percentile.
 func (s RunStats) Percentile(p float64) time.Duration {
-	if len(s.Latencies) == 0 {
+	return percentileOf(s.Latencies, p)
+}
+
+// WallPercentile returns the p-th (0..1) full-transaction wall latency
+// percentile.
+func (s RunStats) WallPercentile(p float64) time.Duration {
+	return percentileOf(s.WallLatencies, p)
+}
+
+func percentileOf(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(p * float64(len(s.Latencies)-1))
-	return s.Latencies[idx]
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
 }
 
 // Run drives cfg.Txns generated transactions through the store from
@@ -220,6 +244,7 @@ func Run(ctx context.Context, s *Store, w Workload, cfg RunConfig) (RunStats, er
 		rem       atomic.Int64
 		mu        sync.Mutex
 		latencies = make([]time.Duration, 0, cfg.Txns)
+		walls     = make([]time.Duration, 0, cfg.Txns)
 		firstErr  error
 	)
 	rem.Store(int64(cfg.Txns))
@@ -240,8 +265,10 @@ func Run(ctx context.Context, s *Store, w Workload, cfg RunConfig) (RunStats, er
 				return
 			}
 			local := make([]time.Duration, 0, cfg.Txns/cfg.Workers+1)
+			wlocal := make([]time.Duration, 0, cfg.Txns/cfg.Workers+1)
 			for rem.Add(-1) >= 0 {
-				t := s.Txn()
+				begin := time.Now()
+				t := s.Txn().WithContext(ctx)
 				gen.Apply(t, gen.NextTxn())
 				p, err := t.Submit(ctx)
 				if err == nil {
@@ -254,6 +281,7 @@ func Run(ctx context.Context, s *Store, w Workload, cfg RunConfig) (RunStats, er
 							aborted.Add(1)
 						}
 						local = append(local, p.Latency())
+						wlocal = append(wlocal, time.Since(begin))
 					}
 				}
 				if err != nil {
@@ -267,6 +295,7 @@ func Run(ctx context.Context, s *Store, w Workload, cfg RunConfig) (RunStats, er
 			}
 			mu.Lock()
 			latencies = append(latencies, local...)
+			walls = append(walls, wlocal...)
 			mu.Unlock()
 		}(i)
 	}
@@ -277,10 +306,12 @@ func Run(ctx context.Context, s *Store, w Workload, cfg RunConfig) (RunStats, er
 		return RunStats{}, firstErr
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
 	return RunStats{
-		Committed: int(committed.Load()),
-		Aborted:   int(aborted.Load()),
-		Elapsed:   elapsed,
-		Latencies: latencies,
+		Committed:     int(committed.Load()),
+		Aborted:       int(aborted.Load()),
+		Elapsed:       elapsed,
+		Latencies:     latencies,
+		WallLatencies: walls,
 	}, nil
 }
