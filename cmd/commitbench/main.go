@@ -41,6 +41,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -71,6 +72,9 @@ func main() {
 		timeout    = flag.Duration("timeout", 5*time.Millisecond, "throughput/kv mode: protocol timeout unit U")
 		trace      = flag.Bool("trace", false, "enable the flight recorder; on an anomaly (e.g. an agreement violation) print the merged per-member timeline to stderr and write dump files")
 		traceDir   = flag.String("trace-dir", ".", "directory for anomaly dump files (anomaly-<tx>-<kind>.json/.txt); requires -trace")
+		audit      = flag.Bool("audit", false, "attach the live NBAC property auditor to the run: every transaction is checked against its protocol's contract, violations fire anomalies, and the run exits 3 on any non-allowlisted violation")
+		auditAllow = flag.String("audit-allow", "", "audit mode: comma-separated anomaly kinds that do not fail the run (e.g. audit-agreement for a known open protocol bug)")
+		auditJSON  = flag.String("audit-json", "", "audit mode: also write the audit summary as JSON to this path")
 
 		kvMode     = flag.Bool("kv", false, "kv mode: sharded transactional store — txn/s and induced abort rate vs Zipf contention per protocol")
 		kvF        = flag.Int("kv-f", 1, "kv mode: resilience parameter (1 <= f <= shards-1)")
@@ -94,6 +98,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "\n=== anomaly: %s on %s ===\n%s\n%s\n",
 				d.Anomaly.Kind, d.Anomaly.TxID, d.Anomaly.Detail, d.Interleaving())
 		})
+	}
+	var aud *obs.Auditor
+	if *audit {
+		aud = obs.NewAuditor(obs.AuditorConfig{Contracts: bench.AuditContracts()})
+		obs.SetAuditor(aud)
 	}
 
 	if *f < 1 || *f > *n-1 {
@@ -162,6 +171,7 @@ func main() {
 		rows, s, err := bench.Throughput(bench.ThroughputConfig{
 			Protocols: ps, Runtime: *runtimeSel,
 			Depths: ds, Txns: *txns, N: *n, F: *f, Timeout: *timeout,
+			KeepGoing: *audit,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)
@@ -180,6 +190,10 @@ func main() {
 			}
 			snap := bench.NewSnapshot(*runtimeSel, rows, send)
 			snap.Metrics = obs.M.Counters("")
+			if aud != nil {
+				s := aud.Summary()
+				snap.Audit = &s
+			}
 			if err := bench.WriteSnapshot(*jsonOut, snap); err != nil {
 				fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)
 				os.Exit(1)
@@ -257,6 +271,10 @@ func main() {
 			if *jsonOut != "" {
 				snap := bench.NewKVGeoSnapshot(rows)
 				snap.Metrics = obs.M.Counters("")
+				if aud != nil {
+					s := aud.Summary()
+					snap.Audit = &s
+				}
 				if err := bench.WriteSnapshot(*jsonOut, snap); err != nil {
 					fmt.Fprintf(os.Stderr, "commitbench: %v\n", err)
 					os.Exit(1)
@@ -281,4 +299,55 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if aud != nil {
+		if code := auditFinish(aud, *auditAllow, *auditJSON); code != 0 {
+			os.Exit(code)
+		}
+	}
+}
+
+// auditFinish prints the auditor's verdict, optionally writes the summary
+// as JSON, and returns 3 if any non-allowlisted violation fired.
+func auditFinish(aud *obs.Auditor, allowList, jsonPath string) int {
+	s := aud.Summary()
+	fmt.Printf("\naudit: %d txns checked (%d observed, %d evicted incomplete), max one-way delay %v (max U %v), max vote→decision span %v (bound %d×U)\n",
+		s.TxnsChecked, s.TxnsObserved, s.Incomplete,
+		time.Duration(s.MaxOneWayDelayNs), time.Duration(s.MaxUNs),
+		time.Duration(s.MaxSpanNs), s.TerminationFactor)
+
+	allowed := make(map[string]bool)
+	for _, k := range strings.Split(allowList, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			allowed[k] = true
+		}
+	}
+	var bad int64
+	if len(s.Violations) == 0 {
+		fmt.Println("audit: no property violations")
+	}
+	for kind, count := range s.Violations {
+		status := "FAIL"
+		if allowed[kind] {
+			status = "allowed"
+		} else {
+			bad += count
+		}
+		fmt.Printf("audit: %s ×%d (%s) e.g. %s\n", kind, count, status, strings.Join(s.ViolationTxns[kind], " "))
+	}
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(s, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "commitbench: write audit summary: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "commitbench: %d non-allowlisted property violations\n", bad)
+		return 3
+	}
+	return 0
 }

@@ -48,6 +48,13 @@ func TestINBACViolationFlightRecorder(t *testing.T) {
 		mu.Unlock()
 	})
 
+	// The live auditor watches the same run: the violation must also be
+	// classified as an NBAC agreement violation through the shared
+	// predicates, not only caught by Cluster.finish's ad-hoc check.
+	aud := obs.NewAuditor(obs.AuditorConfig{})
+	obs.SetAuditor(aud)
+	defer obs.SetAuditor(nil)
+
 	const (
 		n, f     = 4, 1
 		u        = 5 * time.Millisecond
@@ -137,12 +144,54 @@ search:
 		t.Error("timeline has no send events; transport instrumentation missing")
 	}
 
-	// Events must be in merged time order — the "interleaving" promise.
+	// Events must be in causal (HLC) order — the "interleaving" promise —
+	// and every receive must appear after the send it observed: the
+	// envelope's HLC stamp rides along as EvRecv.Arg, so the matching
+	// EvSend is identifiable, not inferred from wall clocks.
+	recvs, matched := 0, 0
 	for i := 1; i < len(hit.Events); i++ {
-		a, b := hit.Events[i-1], hit.Events[i]
-		if a.T > b.T || (a.T == b.T && a.Seq > b.Seq) {
-			t.Errorf("timeline out of order at %d", i)
+		if hit.Events[i-1].HLC > hit.Events[i].HLC {
+			t.Errorf("timeline out of HLC order at %d", i)
 		}
+	}
+	for i, e := range hit.Events {
+		if e.Kind != obs.EvRecv || e.Arg == 0 {
+			continue
+		}
+		recvs++
+		sent := obs.HLC(e.Arg)
+		if e.HLC <= sent {
+			t.Errorf("recv %d not after its send stamp: recv=%v sent=%v", i, e.HLC, sent)
+		}
+		for j := 0; j < i; j++ {
+			if hit.Events[j].Kind == obs.EvSend && hit.Events[j].HLC == sent {
+				matched++
+				break
+			}
+		}
+	}
+	if recvs == 0 {
+		t.Error("timeline has no HLC-stamped receives; transport instrumentation missing")
+	}
+	if matched != recvs {
+		t.Errorf("only %d of %d receives have their matching send earlier in the timeline", matched, recvs)
+	}
+
+	// The auditor reached the same verdict through the shared predicates,
+	// and dumped it with the transaction's timeline.
+	if v := aud.Violations(); v["audit-agreement"] == 0 {
+		t.Errorf("auditor did not classify an agreement violation: %v", v)
+	}
+	auditDumped := false
+	mu.Lock()
+	for i := range dumps {
+		if dumps[i].Anomaly.Kind == "audit-agreement" && dumps[i].Anomaly.TxID == txID {
+			auditDumped = true
+		}
+	}
+	mu.Unlock()
+	if !auditDumped {
+		t.Errorf("no audit-agreement dump for the violating transaction %s", txID)
 	}
 
 	// And the dump files landed next to the run.

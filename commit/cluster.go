@@ -2,6 +2,7 @@ package commit
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -11,6 +12,12 @@ import (
 	"atomiccommit/internal/live"
 	"atomiccommit/internal/obs"
 )
+
+// ErrAgreementViolation is wrapped into the error Commit returns when the
+// cross-member agreement check fails — the one error callers may want to
+// tell apart (errors.Is), e.g. to keep a measurement run going while the
+// auditor records the violation.
+var ErrAgreementViolation = errors.New("commit: agreement violation")
 
 // retiredHistory is how many recently-finished transaction IDs each member
 // remembers so that straggler messages (a helper reply landing after the
@@ -291,6 +298,12 @@ func (r *txnRun) finish(ctx context.Context) (bool, error) {
 		v, err := r.insts[i].Wait(ctx)
 		if err != nil {
 			obs.M.Counter("commit.abort.infra." + proto).Add(1)
+			// An infra abort means this member never decided within its
+			// deadline: tell the auditor so the transaction is audited
+			// under a failure class, not failure-free.
+			if a := obs.ActiveAuditor(); a != nil {
+				a.Suspect(r.txID, r.c.members[i].id, err.Error())
+			}
 			return false, err
 		}
 		vals[i] = v
@@ -304,7 +317,7 @@ func (r *txnRun) finish(ctx context.Context) (bool, error) {
 			// it — beats hiding it.
 			detail := r.decisionVector(vals)
 			obs.ReportAnomaly("cluster-agreement-violation", r.txID, detail)
-			return false, fmt.Errorf("commit: agreement violation on %s: %s", r.txID, detail)
+			return false, fmt.Errorf("%w on %s: %s", ErrAgreementViolation, r.txID, detail)
 		}
 	}
 

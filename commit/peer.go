@@ -676,6 +676,12 @@ func (p *Peer) ensureInstance(txID string) *live.Instance {
 // flight-recorder timeline — the TCP analogue of Cluster.finish's
 // agreement check.
 func (p *Peer) observeDecision(from core.ProcessID, txID string, theirs core.Value) {
+	// Feed the remote decision to the auditor: announcements are how one
+	// process's auditor learns the rest of the decision vector. Decide is
+	// idempotent for repeated equal values, so re-announcements are free.
+	if a := obs.ActiveAuditor(); a != nil {
+		a.Decide(txID, from, theirs, "")
+	}
 	p.mu.Lock()
 	ours, known := p.decided[txID]
 	if !known {

@@ -1,0 +1,18 @@
+package bench
+
+import (
+	"atomiccommit/internal/nbac"
+	"atomiccommit/internal/protocols"
+)
+
+// AuditContracts builds the live auditor's protocol→contract map from the
+// protocol registry: each protocol is audited against the same Table 1
+// property cell the simulator checks it against (sim.Contract is an alias
+// of nbac.Contract — one shared implementation).
+func AuditContracts() map[string]nbac.Contract {
+	m := make(map[string]nbac.Contract, 16)
+	for _, info := range protocols.All() {
+		m[info.Name] = info.Contract
+	}
+	return m
+}

@@ -10,6 +10,7 @@ import (
 
 	"atomiccommit/internal/core"
 	"atomiccommit/internal/live"
+	"atomiccommit/internal/obs"
 	"atomiccommit/internal/protocols/inbac"
 )
 
@@ -41,6 +42,11 @@ type Snapshot struct {
 	// counter in obs.M, cumulative over all rows) — context for a snapshot
 	// whose row columns look off, not a diffable quantity.
 	Metrics map[string]int64 `json:"metrics,omitempty"`
+
+	// Audit is the live NBAC auditor's summary when the run was audited
+	// (commitbench -audit): transactions checked, violations by kind, and
+	// the observed delay maxima against the configured bound U.
+	Audit *obs.AuditSummary `json:"audit,omitempty"`
 }
 
 // SendStats is the per-envelope cost of the live TCP path, measured

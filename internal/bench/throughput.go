@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"runtime"
@@ -98,6 +99,11 @@ type ThroughputConfig struct {
 	// in-memory cluster, "tcp" runs one commit.Peer per participant over
 	// loopback sockets — real framing, real flushes, real reads.
 	Runtime string
+	// KeepGoing tolerates a cross-member agreement violation (counted as
+	// an abort) instead of failing the point. Audited runs set it: the
+	// auditor records the violation, and stopping the bench at the first
+	// one would censor the very statistic the audit is there to collect.
+	KeepGoing bool
 }
 
 func (c ThroughputConfig) withDefaults() (ThroughputConfig, error) {
@@ -223,11 +229,14 @@ func throughputPoint(name string, depth int, cfg ThroughputConfig) (ThroughputRo
 	runtime.ReadMemStats(&m0)
 	s0 := takeShot(name)
 	begin := time.Now()
+	tolerated := func(err error) bool {
+		return cfg.KeepGoing && errors.Is(err, commit.ErrAgreementViolation)
+	}
 	if depth == 1 {
 		for i := 0; i < cfg.Txns; i++ {
 			start := time.Now()
 			ok, err := do(ctx, fmt.Sprintf("%s-serial-%d", name, i))
-			if err != nil {
+			if err != nil && !tolerated(err) {
 				return ThroughputRow{}, fmt.Errorf("bench: %s serial txn %d: %w", name, i, err)
 			}
 			if !ok {
@@ -252,7 +261,7 @@ func throughputPoint(name string, depth int, cfg ThroughputConfig) (ThroughputRo
 					}
 					start := time.Now()
 					ok, err := do(ctx, fmt.Sprintf("%s-d%d-%d", name, depth, i))
-					if err != nil {
+					if err != nil && !tolerated(err) {
 						firstErr.CompareAndSwap(nil, fmt.Errorf("bench: %s depth %d txn %d: %w", name, depth, i, err))
 						return
 					}

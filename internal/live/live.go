@@ -29,12 +29,17 @@ import (
 const TickDuration = time.Millisecond
 
 // Envelope is the wire unit: a protocol message routed to a module instance
-// of one transaction at one process.
+// of one transaction at one process. HLC is the sender's hybrid logical
+// clock stamp, assigned by the transport at send time and merged into the
+// receiver's clock on delivery; it rides the envelope header on both the
+// TCP frame codec and the mesh (frame version 0x02), giving every dump a
+// happens-before order and the auditor a per-hop delay observation.
 type Envelope struct {
 	TxID string
 	From core.ProcessID
 	To   core.ProcessID
 	Path string // module instance path ("" = root)
+	HLC  obs.HLC
 	Msg  core.Message
 }
 
@@ -117,6 +122,10 @@ func (inst *Instance) Start(vote core.Value) {
 			Kind: obs.EvVote, TxID: inst.txID, Proc: inst.id,
 			Arg: int64(vote), Note: vote.String(),
 		})
+	}
+	if a := obs.ActiveAuditor(); a != nil {
+		a.Vote(inst.txID, inst.id, inst.n, inst.label, vote,
+			time.Duration(inst.u)*TickDuration)
 	}
 	root := inst.modules[""]
 	root.Init(&liveEnv{inst: inst, path: ""})
@@ -211,9 +220,10 @@ func (e *liveEnv) Send(to core.ProcessID, m core.Message) {
 		if obs.Default.Enabled() {
 			// Self-sends never reach a transport (the paper's footnote 10:
 			// not a network message), so trace them here.
+			env.HLC = obs.ProcessClock.Tick()
 			obs.Default.Record(obs.Event{
 				Kind: obs.EvSend, TxID: env.TxID, Proc: env.From, Peer: to,
-				Path: e.path, Note: "self",
+				Path: e.path, Note: "self", HLC: env.HLC,
 			})
 		}
 		// Local delivery, asynchronously to respect the event-handler
@@ -271,6 +281,11 @@ func (e *liveEnv) Decide(v core.Value) {
 				Arg: int64(v), Note: v.String(),
 			})
 		}
+		if a := obs.ActiveAuditor(); a != nil {
+			// inst.mu is held (Decide runs inside a handler), so the
+			// sticky decide-path annotation is stable to read here.
+			a.Decide(e.inst.txID, e.inst.id, v, e.inst.decidePath)
+		}
 		e.inst.outcome = v
 		close(e.inst.done)
 	})
@@ -291,6 +306,9 @@ func (e *liveEnv) Annotate(key, note string) {
 			label = "unlabeled"
 		}
 		obs.M.Counter("decide_path." + label + "." + note).Add(1)
+		if a := obs.ActiveAuditor(); a != nil {
+			a.DecidePath(e.inst.txID, e.inst.id, note)
+		}
 	}
 	if obs.Default.Enabled() {
 		obs.Default.Record(obs.Event{

@@ -117,6 +117,11 @@ func (t *meshEndpoint) Send(e Envelope) error {
 	}
 	size := 0
 	if w, ok := e.Msg.(core.Wire); ok {
+		// Same stamping discipline as TCP: the HLC is assigned at send
+		// time, rides the encoded envelope, and any injected latency
+		// happens after it — so the receiver's Observe measures the
+		// modeled one-way delay.
+		e.HLC = obs.ProcessClock.Tick()
 		var err error
 		if e, size, err = roundTrip(e); err != nil {
 			return err
@@ -126,11 +131,15 @@ func (t *meshEndpoint) Send(e Envelope) error {
 		if obs.Default.Enabled() {
 			obs.Default.Record(obs.Event{
 				Kind: obs.EvSend, TxID: e.TxID, Proc: e.From, Peer: e.To,
-				Path: e.Path, WireID: w.WireID(), Size: size,
+				Path: e.Path, WireID: w.WireID(), Size: size, HLC: e.HLC,
 			})
 		}
 	}
 	deliver := func() {
+		var now obs.HLC
+		if e.HLC != 0 {
+			now = obs.ProcessClock.Observe(e.HLC)
+		}
 		if obs.Default.Enabled() {
 			var wid uint16
 			if w, ok := e.Msg.(core.Wire); ok {
@@ -139,7 +148,11 @@ func (t *meshEndpoint) Send(e Envelope) error {
 			obs.Default.Record(obs.Event{
 				Kind: obs.EvRecv, TxID: e.TxID, Proc: e.To, Peer: e.From,
 				Path: e.Path, WireID: wid, Size: size,
+				HLC: now, Arg: int64(e.HLC),
 			})
+		}
+		if a := obs.ActiveAuditor(); a != nil && e.HLC != 0 {
+			a.ObserveRecv(e.TxID, e.Path, e.HLC, now)
 		}
 		h(e)
 	}

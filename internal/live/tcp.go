@@ -46,7 +46,10 @@ const sendBufferSize = 64 << 10
 // envelope, so a deep pipeline pays one read syscall per batch, mirroring
 // the writer.
 const (
-	frameVersion = 0x01
+	// frameVersion 0x02: envelopes gained the fixed64 HLC stamp (wire.go).
+	// A reader refuses other versions, so mixed-version peers degrade to
+	// silence — the crash semantics the protocols already tolerate.
+	frameVersion = 0x02
 	// maxFrameSize bounds a frame on the read side: a corrupt length prefix
 	// must not convince us to allocate gigabytes. 8 MiB is orders of
 	// magnitude above anything the protocols produce per flush.
@@ -244,12 +247,20 @@ func (t *TCP) readLoop(c net.Conn) {
 				return
 			}
 			mRecvEnvelopes.Add(1)
+			// Merge the sender's stamp into the local clock (the HLC
+			// receive rule): everything this process records after the
+			// delivery is causally after the matching send.
+			now := obs.ProcessClock.Observe(e.HLC)
 			if obs.Default.Enabled() {
 				obs.Default.Record(obs.Event{
 					Kind: obs.EvRecv, TxID: e.TxID, Proc: e.To, Peer: e.From,
 					Path: e.Path, WireID: e.Msg.(core.Wire).WireID(),
 					Size: before - d.Remaining(),
+					HLC:  now, Arg: int64(e.HLC), // Arg: edge back to the send
 				})
+			}
+			if a := obs.ActiveAuditor(); a != nil {
+				a.ObserveRecv(e.TxID, e.Path, e.HLC, now)
 			}
 			if h != nil {
 				h(e)
@@ -272,6 +283,12 @@ func (t *TCP) Send(e Envelope) error {
 	}
 	shaper := t.shaper
 	t.mu.Unlock()
+
+	// Stamp the hybrid logical clock at send time, before any shaping
+	// delay — a shaped envelope models a slow network, and the receiver
+	// measures that slowness as (receive HLC − stamp). One CAS, no
+	// allocation (the steady-state alloc test pins this path).
+	e.HLC = obs.ProcessClock.Tick()
 
 	if shaper.Drop != nil && shaper.Drop(e) {
 		mShapedDropped.Add(1)
@@ -332,6 +349,7 @@ func (t *TCP) enqueue(e Envelope) error {
 			obs.Default.Record(obs.Event{
 				Kind: obs.EvSend, TxID: e.TxID, Proc: e.From, Peer: e.To,
 				Path: e.Path, WireID: e.Msg.(core.Wire).WireID(), Size: size,
+				HLC: e.HLC,
 			})
 		}
 		select {

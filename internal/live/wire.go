@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/obs"
 	"atomiccommit/internal/wire"
 )
 
@@ -88,13 +89,15 @@ func wireLookup(id uint16) (core.Wire, bool) {
 // the stream is corrupt.
 var errUnknownWireID = errors.New("live: unknown wire type ID")
 
-// Envelope wire layout (field order is the struct's):
+// Envelope wire layout (field order is the struct's; frame version 0x02
+// added the fixed64 HLC stamp — see tcp.go frameVersion):
 //
 //	uvarint  message type ID
 //	string   TxID
 //	uvarint  From
 //	uvarint  To
 //	string   Path
+//	fixed64  HLC stamp (sender's hybrid logical clock at send time)
 //	bytes    message payload (length-prefixed MarshalWire output)
 //
 // appendEnvelope appends e to b. scratch is a caller-owned buffer reused
@@ -111,6 +114,7 @@ func appendEnvelope(b []byte, e *Envelope, scratch []byte) (out, scr []byte, err
 	b = wire.AppendUvarint(b, uint64(e.From))
 	b = wire.AppendUvarint(b, uint64(e.To))
 	b = wire.AppendString(b, e.Path)
+	b = wire.AppendUint64(b, uint64(e.HLC))
 	b = wire.AppendBytes(b, scratch)
 	return b, scratch, nil
 }
@@ -123,6 +127,7 @@ func decodeEnvelope(d *wire.Decoder) (Envelope, error) {
 	e.From = core.ProcessID(d.Uvarint())
 	e.To = core.ProcessID(d.Uvarint())
 	e.Path = d.String()
+	e.HLC = obs.HLC(d.Uint64())
 	payload := d.View()
 	if err := d.Err(); err != nil {
 		return Envelope{}, err

@@ -1,0 +1,320 @@
+// Package nbac is the single implementation of the paper's NBAC
+// property predicates (Definition 1: Agreement, Validity, Termination)
+// and the execution-class contract checker (Table 1). The simulator's
+// Result embeds Execution and the live auditor (obs.Auditor) builds one
+// per observed transaction, so both paths literally run this code —
+// a property-check divergence between sim and live cannot exist.
+package nbac
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"atomiccommit/internal/core"
+)
+
+// Execution is the property-relevant record of one run of an atomic
+// commit protocol: who voted what, who decided what, and which failure
+// class the execution belongs to. It is transport-agnostic — the
+// simulator fills it from its deterministic kernel, the live auditor
+// from audit records stamped with hybrid logical clocks.
+type Execution struct {
+	N int
+
+	// Votes is the proposal vector of the execution (Votes[i] is P(i+1)'s).
+	Votes []core.Value
+
+	// Decisions holds the decision of every process that decided (crashed
+	// processes may have decided before crashing).
+	Decisions map[core.ProcessID]core.Value
+
+	// Failure bookkeeping, deciding which of the paper's execution
+	// classes this run belongs to.
+	Crashed        map[core.ProcessID]bool
+	AnyCrash       bool
+	NetworkFailure bool
+
+	// HorizonReached reports that the run was cut off (simulator horizon,
+	// or the auditor giving up on an incomplete transaction) before the
+	// required decisions; distinguishes "still running" from a genuinely
+	// quiescent non-terminating state.
+	HorizonReached bool
+
+	// Violations lists integrity violations (deciding twice, malformed
+	// sends). Always empty for a correct protocol.
+	Violations []string
+}
+
+// FailureFree reports whether the execution had neither crash nor network
+// failure (paper: "failure-free execution").
+func (e *Execution) FailureFree() bool { return !e.AnyCrash && !e.NetworkFailure }
+
+// Nice reports whether the execution is a nice execution: failure-free and
+// every process proposes 1 (paper section 2.4).
+func (e *Execution) Nice() bool {
+	if !e.FailureFree() {
+		return false
+	}
+	for _, v := range e.Votes {
+		if v != core.Commit {
+			return false
+		}
+	}
+	return true
+}
+
+// Correct reports whether p is correct (did not crash) in this execution.
+func (e *Execution) Correct(p core.ProcessID) bool { return !e.Crashed[p] }
+
+// AllCorrectDecided reports whether every correct process decided.
+func (e *Execution) AllCorrectDecided() bool {
+	for i := 1; i <= e.N; i++ {
+		p := core.ProcessID(i)
+		if e.Correct(p) {
+			if _, ok := e.Decisions[p]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Agreement reports whether no two processes decided differently
+// (paper Definition 1; uniform: crashed processes' decisions count).
+func (e *Execution) Agreement() bool {
+	var seen *core.Value
+	for _, p := range sortedPIDs(e.Decisions) {
+		v := e.Decisions[p]
+		if seen == nil {
+			seen = &v
+		} else if *seen != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Validity reports whether every decision satisfies the paper's validity
+// property: 0 only if some process proposed 0 or a failure occurred; 1 only
+// if no process proposed 0.
+func (e *Execution) Validity() bool {
+	anyZero := false
+	for _, v := range e.Votes {
+		if v == core.Abort {
+			anyZero = true
+		}
+	}
+	for _, p := range sortedPIDs(e.Decisions) {
+		switch e.Decisions[p] {
+		case core.Abort:
+			if !anyZero && e.FailureFree() {
+				return false
+			}
+		case core.Commit:
+			if anyZero {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Termination reports whether every correct process decided; a run cut off
+// at the horizon counts as non-terminating.
+func (e *Execution) Termination() bool {
+	return !e.HorizonReached && e.AllCorrectDecided()
+}
+
+// SolvesNBAC reports whether this execution solves NBAC (validity,
+// agreement, termination all hold; paper Definition 1).
+func (e *Execution) SolvesNBAC() bool {
+	return e.Validity() && e.Agreement() && e.Termination() && len(e.Violations) == 0
+}
+
+// Decision returns the common decision value if at least one process decided
+// and all agree; ok is false otherwise.
+func (e *Execution) Decision() (v core.Value, ok bool) {
+	if len(e.Decisions) == 0 || !e.Agreement() {
+		return 0, false
+	}
+	for _, p := range sortedPIDs(e.Decisions) {
+		return e.Decisions[p], true
+	}
+	return 0, false
+}
+
+// Props is a subset of the three NBAC properties (paper Definition 1).
+type Props uint8
+
+// The three properties, combinable with |.
+const (
+	PropA Props = 1 << iota // agreement
+	PropV                   // validity
+	PropT                   // termination
+)
+
+// Convenient combinations, matching the paper's cell notation.
+const (
+	PropsNone Props = 0
+	PropsAV         = PropA | PropV
+	PropsAT         = PropA | PropT
+	PropsVT         = PropV | PropT
+	PropsAVT        = PropA | PropV | PropT
+)
+
+// Has reports whether p contains q.
+func (p Props) Has(q Props) bool { return p&q == q }
+
+func (p Props) String() string {
+	if p == 0 {
+		return "∅"
+	}
+	var b strings.Builder
+	if p.Has(PropA) {
+		b.WriteByte('A')
+	}
+	if p.Has(PropV) {
+		b.WriteByte('V')
+	}
+	if p.Has(PropT) {
+		b.WriteByte('T')
+	}
+	return b.String()
+}
+
+// Contract declares which properties a protocol guarantees in which class of
+// executions — its cell (CF, NF) in the paper's Table 1. Every execution of
+// any protocol must additionally solve NBAC when it is failure-free.
+type Contract struct {
+	Name string
+	CF   Props // guaranteed in every crash-failure execution
+	NF   Props // guaranteed in every network-failure execution
+
+	// MajorityForT records that termination (in executions with failures)
+	// additionally requires a majority of correct processes because the
+	// protocol falls back on an indulgent consensus (paper Theorem 6's
+	// parenthetical). The checker skips the T assertion when a majority is
+	// not correct.
+	MajorityForT bool
+}
+
+// ExecClass is the paper's classification of executions (section 2.2).
+type ExecClass uint8
+
+// Execution classes.
+const (
+	FailureFree ExecClass = iota
+	CrashFailure
+	NetworkFailure
+)
+
+func (c ExecClass) String() string {
+	switch c {
+	case FailureFree:
+		return "failure-free"
+	case CrashFailure:
+		return "crash-failure"
+	case NetworkFailure:
+		return "network-failure"
+	}
+	return "?"
+}
+
+// Class returns which execution class this execution belongs to. A
+// network-failure execution is one where some message exceeded the bound U;
+// it may also contain crashes (an eventually synchronous system allows both).
+func (e *Execution) Class() ExecClass {
+	switch {
+	case e.NetworkFailure:
+		return NetworkFailure
+	case e.AnyCrash:
+		return CrashFailure
+	default:
+		return FailureFree
+	}
+}
+
+// Required returns the properties the contract demands of this execution's
+// class: every failure-free execution must solve NBAC outright, otherwise
+// the contract's CF or NF cell applies. MajorityForT is honored: the T bit
+// is cleared when a majority of processes is not correct.
+func Required(c Contract, e *Execution) Props {
+	want := PropsAVT // every failure-free execution must solve NBAC
+	switch e.Class() {
+	case CrashFailure:
+		want = c.CF
+	case NetworkFailure:
+		want = c.NF
+	}
+	if want.Has(PropT) && c.MajorityForT && e.Class() != FailureFree {
+		correct := e.N - len(e.Crashed)
+		if correct*2 <= e.N {
+			want &^= PropT
+		}
+	}
+	return want
+}
+
+// Failed evaluates the required properties against the execution and
+// returns the subset that is violated. Both the simulator's checker and
+// the live auditor classify through this single function.
+func Failed(c Contract, e *Execution) Props {
+	want := Required(c, e)
+	var bad Props
+	if want.Has(PropA) && !e.Agreement() {
+		bad |= PropA
+	}
+	if want.Has(PropV) && !e.Validity() {
+		bad |= PropV
+	}
+	if want.Has(PropT) && !e.Termination() {
+		bad |= PropT
+	}
+	return bad
+}
+
+// Check verifies the execution against the contract and returns a list of
+// human-readable property violations (empty means the execution satisfied
+// everything the protocol promises for its class).
+func Check(c Contract, e *Execution) []string {
+	var bad []string
+	fail := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+
+	if len(e.Violations) > 0 {
+		fail("%s: integrity violations: %v", c.Name, e.Violations)
+	}
+	failed := Failed(c, e)
+	if failed.Has(PropA) {
+		fail("%s: agreement violated in %v execution: decisions %v", c.Name, e.Class(), e.Decisions)
+	}
+	if failed.Has(PropV) {
+		fail("%s: validity violated in %v execution: votes %v decisions %v", c.Name, e.Class(), e.Votes, e.Decisions)
+	}
+	if failed.Has(PropT) {
+		fail("%s: termination violated in %v execution: %d/%d correct processes decided (horizon=%v)",
+			c.Name, e.Class(), len(e.Decisions)-crashedDecided(e), e.N-len(e.Crashed), e.HorizonReached)
+	}
+	return bad
+}
+
+func crashedDecided(e *Execution) int {
+	n := 0
+	for p := range e.Decisions {
+		if e.Crashed[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// sortedPIDs returns process IDs in ascending order, for deterministic
+// iteration in the predicates above.
+func sortedPIDs[V any](m map[core.ProcessID]V) []core.ProcessID {
+	out := make([]core.ProcessID, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

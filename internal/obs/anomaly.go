@@ -38,9 +38,11 @@ func (d *Dump) JSON() []byte {
 }
 
 // Interleaving renders the dump as a human-readable merged timeline:
-// one line per event, time-relative to the first, one column naming the
-// recording participant — the message/timer interleaving that produced
-// the anomaly, readable top to bottom.
+// one line per event in happens-before order, the time column showing
+// the HLC physical offset from the first event plus the logical
+// counter, one column naming the recording participant — the
+// message/timer interleaving that produced the anomaly, readable top to
+// bottom. Recv lines name the send they causally follow.
 func (d *Dump) Interleaving() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ANOMALY %s tx=%s: %s\n", d.Anomaly.Kind, d.Anomaly.TxID, d.Anomaly.Detail)
@@ -48,11 +50,12 @@ func (d *Dump) Interleaving() string {
 		b.WriteString("  (no trace events: was the flight recorder enabled?)\n")
 		return b.String()
 	}
-	t0 := d.Events[0].T
-	fmt.Fprintf(&b, "merged timeline, %d events, t0=%s:\n", len(d.Events), time.Unix(0, t0).Format(time.RFC3339Nano))
+	h0 := d.Events[0].HLC
+	fmt.Fprintf(&b, "merged timeline, %d events, hlc0=%s (%s):\n",
+		len(d.Events), h0, h0.Time().Format(time.RFC3339Nano))
 	for _, e := range d.Events {
-		fmt.Fprintf(&b, "  %+10.3fms  %-3s %-14s %s\n",
-			float64(e.T-t0)/1e6, e.Proc.String(), e.Kind.String(), eventDetail(e))
+		fmt.Fprintf(&b, "  %+10.3fms/%-3d %-3s %-14s %s\n",
+			float64(e.HLC.Sub(h0))/1e6, e.HLC.Logical(), e.Proc.String(), e.Kind.String(), eventDetail(e))
 	}
 	return b.String()
 }
@@ -65,6 +68,11 @@ func eventDetail(e Event) string {
 		s = fmt.Sprintf("-> %s wire=%d %dB", e.Peer, e.WireID, e.Size)
 	case EvRecv:
 		s = fmt.Sprintf("<- %s wire=%d %dB", e.Peer, e.WireID, e.Size)
+		if e.Arg != 0 {
+			// Arg carries the envelope's send-side HLC stamp: the
+			// explicit happens-before edge back to the matching send.
+			s += fmt.Sprintf(" after-send=%s", HLC(e.Arg))
+		}
 	case EvVote, EvDecide:
 		s = e.Note
 	case EvTimerArm:
@@ -115,8 +123,15 @@ func ReportAnomaly(kind, txID, detail string) Dump {
 	}
 	if dir, _ := dumpDir.Load().(string); dir != "" {
 		base := filepath.Join(dir, "anomaly-"+sanitize(txID)+"-"+sanitize(kind))
-		_ = os.WriteFile(base+".json", d.JSON(), 0o644)
-		_ = os.WriteFile(base+".txt", []byte(d.Interleaving()), 0o644)
+		// Dump files are best-effort (reporting must never fail the
+		// commit path), but a write failure is counted so a run that
+		// silently produced no dumps is diagnosable.
+		if err := os.WriteFile(base+".json", d.JSON(), 0o644); err != nil {
+			M.Counter("obs.anomaly_dump_errors").Add(1)
+		}
+		if err := os.WriteFile(base+".txt", []byte(d.Interleaving()), 0o644); err != nil {
+			M.Counter("obs.anomaly_dump_errors").Add(1)
+		}
 	}
 	if f, _ := anomalyHook.Load().(func(Dump)); f != nil {
 		f(d)

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestAnomalyHookConcurrent races SetAnomalyHook against ReportAnomaly
+// (run under -race in CI): hook swaps must never tear a report, and
+// every report must reach whichever hook was installed.
+func TestAnomalyHookConcurrent(t *testing.T) {
+	defer SetAnomalyHook(nil)
+	var mu sync.Mutex
+	seen := 0
+	count := func(Dump) { mu.Lock(); seen++; mu.Unlock() }
+
+	const reporters, reports = 4, 50
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				SetAnomalyHook(count)
+			} else {
+				SetAnomalyHook(func(Dump) {})
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for r := 0; r < reporters; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < reports; i++ {
+				ReportAnomaly("race-test", fmt.Sprintf("tx-%d-%d", r, i), "detail")
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	swapper.Wait()
+}
+
+// TestReportAnomalyDumpDirFailure points the dump directory somewhere
+// unwritable: reporting must not fail (the dump is still returned and
+// the hook still fires) and the write failure must be counted.
+func TestReportAnomalyDumpDirFailure(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	SetDumpDir(filepath.Join(file, "sub")) // parent is a file: writes fail
+	defer SetDumpDir("")
+
+	hooked := false
+	SetAnomalyHook(func(Dump) { hooked = true })
+	defer SetAnomalyHook(nil)
+
+	before := M.Counter("obs.anomaly_dump_errors").Value()
+	d := ReportAnomaly("dump-dir-failure-test", "tx-dump-fail", "detail")
+	if d.Anomaly.Kind != "dump-dir-failure-test" {
+		t.Fatalf("dump not returned: %+v", d.Anomaly)
+	}
+	if !hooked {
+		t.Fatal("hook did not fire despite dump-dir failure")
+	}
+	if got := M.Counter("obs.anomaly_dump_errors").Value() - before; got != 2 {
+		t.Fatalf("dump error counter moved by %d, want 2 (json + txt)", got)
+	}
+}
+
+// TestReportAnomalyDumpDirSuccessWritesFiles is the happy-path twin:
+// both dump files appear and the error counter stays put.
+func TestReportAnomalyDumpDirSuccessWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	SetDumpDir(dir)
+	defer SetDumpDir("")
+
+	before := M.Counter("obs.anomaly_dump_errors").Value()
+	ReportAnomaly("dump-ok", "tx/ok:1", "detail")
+	if got := M.Counter("obs.anomaly_dump_errors").Value() - before; got != 0 {
+		t.Fatalf("dump error counter moved by %d on success", got)
+	}
+	for _, ext := range []string{".json", ".txt"} {
+		p := filepath.Join(dir, "anomaly-tx_ok_1-dump-ok"+ext)
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("dump file %s: %v", p, err)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"":                   "",
+		"tx-42":              "tx-42",
+		"a/b":                "a_b",
+		`a\b`:                "a_b",
+		"../../etc/passwd":   ".._.._etc_passwd",
+		"tx:1 geo|eu":        "tx_1_geo_eu",
+		"UPPER_lower.0-9":    "UPPER_lower.0-9",
+		"späce and ünicode!": "sp_ce_and__nicode_",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestHistogramMinMax checks the exact extremes next to the bucket-floor
+// quantiles, including the zero-sample and single-sample corners.
+func TestHistogramMinMax(t *testing.T) {
+	var h Histogram
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram extremes: min=%d max=%d", h.Min(), h.Max())
+	}
+	h.Record(77)
+	if h.Min() != 77 || h.Max() != 77 {
+		t.Fatalf("single sample extremes: min=%d max=%d, want 77/77", h.Min(), h.Max())
+	}
+	h.Record(3)
+	h.Record(1_000_000)
+	h.Record(0)
+	s := h.snapshot()
+	if s.Min != 0 {
+		t.Fatalf("snapshot min = %d, want 0", s.Min)
+	}
+	if s.Max != 1_000_000 {
+		t.Fatalf("snapshot max = %d, want 1000000", s.Max)
+	}
+	if s.P99 > s.Max {
+		t.Fatalf("quantile %d above exact max %d", s.P99, s.Max)
+	}
+	if s.Count != 4 || s.Sum != 77+3+1_000_000 {
+		t.Fatalf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+}

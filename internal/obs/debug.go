@@ -10,16 +10,31 @@ import (
 // DebugHandler returns the /debug HTTP surface a live process (e.g. a
 // commit.Peer via ServeDebug) exposes:
 //
-//	/debug/vars         expvar (includes the "atomiccommit" metrics map)
-//	/debug/metrics      the metrics registry snapshot as JSON
-//	/debug/trace        the flight recorder ring as JSON; ?tx=ID filters
-//	                    to one transaction's merged timeline
-//	/debug/pprof/...    the standard pprof profiles
+//	/debug/vars          expvar (includes the "atomiccommit" metrics map)
+//	/debug/metrics       the metrics registry snapshot as JSON
+//	/debug/metrics.prom  the registry in Prometheus text exposition format
+//	/debug/trace         the flight recorder ring as JSON; ?tx=ID filters
+//	                     to one transaction's merged timeline
+//	/debug/audit         the live NBAC auditor's summary (see Auditor);
+//	                     {"enabled": false} when no auditor is installed
+//	/debug/pprof/...     the standard pprof profiles
 func DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, M.Snapshot())
+	})
+	mux.HandleFunc("/debug/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		WritePrometheus(w, M)
+	})
+	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
+		a := ActiveAuditor()
+		if a == nil {
+			writeJSON(w, map[string]bool{"enabled": false})
+			return
+		}
+		writeJSON(w, a.Summary())
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		if tx := r.URL.Query().Get("tx"); tx != "" {

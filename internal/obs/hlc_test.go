@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHLCTickMonotonic(t *testing.T) {
+	var c Clock
+	prev := c.Tick()
+	for i := 0; i < 10000; i++ {
+		h := c.Tick()
+		if h <= prev {
+			t.Fatalf("tick %d not increasing: %v then %v", i, prev, h)
+		}
+		prev = h
+	}
+}
+
+func TestHLCObserveDominatesRemote(t *testing.T) {
+	var c Clock
+	// A remote stamp far in the future must still be strictly exceeded.
+	remote := HLC(uint64(time.Now().Add(time.Hour).UnixNano()) &^ hlcLogicalMask)
+	h := c.Observe(remote)
+	if h <= remote {
+		t.Fatalf("Observe(%v) = %v, want > remote", remote, h)
+	}
+	if n := c.Tick(); n <= h {
+		t.Fatalf("Tick after Observe = %v, want > %v", n, h)
+	}
+}
+
+func TestHLCPhysicalTracksWallClock(t *testing.T) {
+	var c Clock
+	before := time.Now().UnixNano()
+	h := c.Tick()
+	after := time.Now().UnixNano()
+	if p := h.Physical(); p < before-int64(hlcLogicalMask) || p > after {
+		t.Fatalf("physical %d outside wall window [%d, %d]", p, before, after)
+	}
+	if got := h.Sub(h); got != 0 {
+		t.Fatalf("Sub(self) = %v, want 0", got)
+	}
+}
+
+func TestHLCConcurrentUnique(t *testing.T) {
+	var c Clock
+	const workers, per = 8, 2000
+	out := make([][]HLC, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := make([]HLC, per)
+			for i := range s {
+				if i%2 == 0 {
+					s[i] = c.Tick()
+				} else {
+					s[i] = c.Observe(s[i-1])
+				}
+			}
+			out[w] = s
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[HLC]bool, workers*per)
+	for w := range out {
+		for i, h := range out[w] {
+			if i > 0 && h <= out[w][i-1] {
+				t.Fatalf("worker %d stamp %d not increasing", w, i)
+			}
+			if seen[h] {
+				t.Fatalf("duplicate stamp %v", h)
+			}
+			seen[h] = true
+		}
+	}
+}
+
+func TestHLCPackingRoundTrip(t *testing.T) {
+	phys := int64(0x123456789A) << hlcLogicalBits
+	h := HLC(uint64(phys) | 0x2A)
+	if h.Physical() != phys {
+		t.Fatalf("Physical = %d, want %d", h.Physical(), phys)
+	}
+	if h.Logical() != 0x2A {
+		t.Fatalf("Logical = %d, want 42", h.Logical())
+	}
+	if h.String() == "" {
+		t.Fatal("empty String")
+	}
+}

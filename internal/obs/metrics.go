@@ -42,9 +42,12 @@ const histBuckets = 62*histSub + histSub
 // bucket index computation plus four atomic adds — safe for concurrent
 // use, no locks, no allocation.
 type Histogram struct {
-	count   atomic.Int64
-	sum     atomic.Int64
-	max     atomic.Int64
+	count atomic.Int64
+	sum   atomic.Int64
+	max   atomic.Int64
+	// minP1 stores the exact minimum plus one, so the zero value means
+	// "no samples yet" and the zero-value Histogram stays usable.
+	minP1   atomic.Int64
 	buckets [histBuckets]atomic.Int64
 }
 
@@ -81,6 +84,12 @@ func (h *Histogram) Record(v int64) {
 	h.sum.Add(v)
 	h.buckets[bucketOf(v)].Add(1)
 	for {
+		m := h.minP1.Load()
+		if (m != 0 && v+1 >= m) || h.minP1.CompareAndSwap(m, v+1) {
+			break
+		}
+	}
+	for {
 		m := h.max.Load()
 		if v <= m || h.max.CompareAndSwap(m, v) {
 			return
@@ -90,6 +99,19 @@ func (h *Histogram) Record(v int64) {
 
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Min returns the exact smallest recorded sample (0 when empty).
+func (h *Histogram) Min() int64 {
+	m := h.minP1.Load()
+	if m == 0 {
+		return 0
+	}
+	return m - 1
+}
+
+// Max returns the exact largest recorded sample (0 when empty) — the
+// true tail, where the bucket-floor quantiles necessarily read low.
+func (h *Histogram) Max() int64 { return h.max.Load() }
 
 // Quantile returns an estimate of the q-quantile (q in [0,1]): the lower
 // bound of the bucket holding the q-th sample, within one sub-bucket of
@@ -113,10 +135,13 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max.Load()
 }
 
-// HistogramSnapshot is the exported view of a histogram.
+// HistogramSnapshot is the exported view of a histogram. Min and Max
+// are exact recorded samples; the quantiles are bucket-floor estimates
+// (within one sub-bucket, i.e. they can read up to ~12.5% low).
 type HistogramSnapshot struct {
 	Count int64 `json:"count"`
 	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
 	Max   int64 `json:"max"`
 	P50   int64 `json:"p50"`
 	P95   int64 `json:"p95"`
@@ -127,7 +152,7 @@ type HistogramSnapshot struct {
 // it approximate, which is fine for monitoring output.
 func (h *Histogram) snapshot() HistogramSnapshot {
 	return HistogramSnapshot{
-		Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load(),
+		Count: h.count.Load(), Sum: h.sum.Load(), Min: h.Min(), Max: h.max.Load(),
 		P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
 	}
 }

@@ -69,10 +69,15 @@ func TestRecorderConcurrent(t *testing.T) {
 	if len(events) != 256 {
 		t.Fatalf("full ring holds %d events, want 256", len(events))
 	}
-	for i := 1; i < len(events); i++ {
-		a, b := events[i-1], events[i]
-		if a.T > b.T || (a.T == b.T && a.Seq > b.Seq) {
-			t.Fatalf("snapshot out of order at %d: (%d,%d) before (%d,%d)", i, a.T, a.Seq, b.T, b.Seq)
+	// Snapshots are ordered by HLC, and every event recorded through an
+	// enabled recorder gets a strictly increasing stamp from the
+	// process clock — so the order must be strict.
+	for i, e := range events {
+		if e.HLC == 0 {
+			t.Fatalf("event %d has no HLC stamp", i)
+		}
+		if i > 0 && events[i-1].HLC >= e.HLC {
+			t.Fatalf("snapshot out of HLC order at %d: %v before %v", i, events[i-1].HLC, e.HLC)
 		}
 	}
 }

@@ -82,6 +82,7 @@ func (k EventKind) String() string {
 //     the conflicting key or footprint summary.
 type Event struct {
 	T      int64          `json:"t"`   // UnixNano timestamp
+	HLC    HLC            `json:"hlc"` // hybrid logical clock stamp (happens-before order)
 	Seq    uint64         `json:"seq"` // recorder sequence number (total order tiebreak)
 	Kind   EventKind      `json:"kind"`
 	Proc   core.ProcessID `json:"proc"`           // recording participant
@@ -163,14 +164,18 @@ func (r *Recorder) publish(e Event) {
 	if e.T == 0 {
 		e.T = time.Now().UnixNano()
 	}
+	if e.HLC == 0 {
+		e.HLC = ProcessClock.Tick()
+	}
 	i := r.pos.Add(1) - 1
 	e.Seq = i
 	r.slots[i&r.mask].Store(&e)
 }
 
-// Snapshot returns every event currently in the ring, ordered by
-// timestamp (sequence number as tiebreak). It does not block writers;
-// events recorded concurrently may or may not be included.
+// Snapshot returns every event currently in the ring, in happens-before
+// order (HLC, then wall timestamp, then sequence number as tiebreaks).
+// It does not block writers; events recorded concurrently may or may
+// not be included.
 func (r *Recorder) Snapshot() []Event {
 	out := make([]Event, 0, len(r.slots))
 	for i := range r.slots {
@@ -184,7 +189,7 @@ func (r *Recorder) Snapshot() []Event {
 
 // TxTimeline returns the merged multi-process timeline of one
 // transaction: every event in the ring with the given TxID, across all
-// recording participants, in time order.
+// recording participants, in happens-before (HLC) order.
 func (r *Recorder) TxTimeline(txID string) []Event {
 	var out []Event
 	for i := range r.slots {
@@ -204,8 +209,15 @@ func (r *Recorder) Reset() {
 	}
 }
 
+// sortEvents orders a merged timeline by happens-before: primary key is
+// the HLC stamp (causally consistent within and across processes),
+// falling back to wall time then recorder sequence for events recorded
+// before tracing stamped an HLC (e.g. hand-built test events).
 func sortEvents(ev []Event) {
 	sort.Slice(ev, func(i, j int) bool {
+		if ev[i].HLC != ev[j].HLC {
+			return ev[i].HLC < ev[j].HLC
+		}
 		if ev[i].T != ev[j].T {
 			return ev[i].T < ev[j].T
 		}

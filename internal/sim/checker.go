@@ -1,148 +1,50 @@
 package sim
 
-import (
-	"fmt"
-	"strings"
-)
+import "atomiccommit/internal/nbac"
+
+// The NBAC property/contract machinery moved to internal/nbac so the
+// simulator and the live auditor (obs.Auditor) run one implementation.
+// These aliases keep the simulator's historical API: protocol tests,
+// the registry's contracts, and the bench tables all read sim.Props,
+// sim.Contract, sim.Check.
 
 // Props is a subset of the three NBAC properties (paper Definition 1).
-type Props uint8
+type Props = nbac.Props
 
 // The three properties, combinable with |.
 const (
-	PropA Props = 1 << iota // agreement
-	PropV                   // validity
-	PropT                   // termination
+	PropA = nbac.PropA // agreement
+	PropV = nbac.PropV // validity
+	PropT = nbac.PropT // termination
 )
 
 // Convenient combinations, matching the paper's cell notation.
 const (
-	PropsNone Props = 0
-	PropsAV         = PropA | PropV
-	PropsAT         = PropA | PropT
-	PropsVT         = PropV | PropT
-	PropsAVT        = PropA | PropV | PropT
+	PropsNone = nbac.PropsNone
+	PropsAV   = nbac.PropsAV
+	PropsAT   = nbac.PropsAT
+	PropsVT   = nbac.PropsVT
+	PropsAVT  = nbac.PropsAVT
 )
 
-// Has reports whether p contains q.
-func (p Props) Has(q Props) bool { return p&q == q }
-
-func (p Props) String() string {
-	if p == 0 {
-		return "∅"
-	}
-	var b strings.Builder
-	if p.Has(PropA) {
-		b.WriteByte('A')
-	}
-	if p.Has(PropV) {
-		b.WriteByte('V')
-	}
-	if p.Has(PropT) {
-		b.WriteByte('T')
-	}
-	return b.String()
-}
-
-// Contract declares which properties a protocol guarantees in which class of
-// executions — its cell (CF, NF) in the paper's Table 1. Every execution of
-// any protocol must additionally solve NBAC when it is failure-free.
-type Contract struct {
-	Name string
-	CF   Props // guaranteed in every crash-failure execution
-	NF   Props // guaranteed in every network-failure execution
-
-	// MajorityForT records that termination (in executions with failures)
-	// additionally requires a majority of correct processes because the
-	// protocol falls back on an indulgent consensus (paper Theorem 6's
-	// parenthetical). The checker skips the T assertion when a majority is
-	// not correct.
-	MajorityForT bool
-}
+// Contract declares which properties a protocol guarantees in which class
+// of executions — its cell (CF, NF) in the paper's Table 1.
+type Contract = nbac.Contract
 
 // ExecClass is the paper's classification of executions (section 2.2).
-type ExecClass uint8
+type ExecClass = nbac.ExecClass
 
 // Execution classes.
 const (
-	FailureFree ExecClass = iota
-	CrashFailure
-	NetworkFailure
+	FailureFree    = nbac.FailureFree
+	CrashFailure   = nbac.CrashFailure
+	NetworkFailure = nbac.NetworkFailure
 )
-
-func (c ExecClass) String() string {
-	switch c {
-	case FailureFree:
-		return "failure-free"
-	case CrashFailure:
-		return "crash-failure"
-	case NetworkFailure:
-		return "network-failure"
-	}
-	return "?"
-}
-
-// Class returns which execution class this result belongs to. A
-// network-failure execution is one where some message exceeded the bound U;
-// it may also contain crashes (an eventually synchronous system allows both).
-func (r *Result) Class() ExecClass {
-	switch {
-	case r.NetworkFailure:
-		return NetworkFailure
-	case r.AnyCrash:
-		return CrashFailure
-	default:
-		return FailureFree
-	}
-}
 
 // Check verifies the result against the contract and returns a list of
 // human-readable property violations (empty means the execution satisfied
-// everything the protocol promises for its class).
+// everything the protocol promises for its class). It is nbac.Check on
+// the result's embedded execution record.
 func Check(c Contract, r *Result) []string {
-	var bad []string
-	fail := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
-
-	if len(r.Violations) > 0 {
-		fail("%s: integrity violations: %v", c.Name, r.Violations)
-	}
-
-	want := PropsAVT // every failure-free execution must solve NBAC
-	switch r.Class() {
-	case CrashFailure:
-		want = c.CF
-	case NetworkFailure:
-		want = c.NF
-	}
-
-	if want.Has(PropA) && !r.Agreement() {
-		fail("%s: agreement violated in %v execution: decisions %v", c.Name, r.Class(), r.Decisions)
-	}
-	if want.Has(PropV) && !r.Validity() {
-		fail("%s: validity violated in %v execution: votes %v decisions %v", c.Name, r.Class(), r.Votes, r.Decisions)
-	}
-	if want.Has(PropT) {
-		skip := false
-		if c.MajorityForT && r.Class() != FailureFree {
-			correct := r.N - len(r.Crashed)
-			if correct*2 <= r.N {
-				skip = true
-			}
-		}
-		if !skip && !r.Termination() {
-			fail("%s: termination violated in %v execution: %d/%d correct processes decided (horizon=%v)",
-				c.Name, r.Class(), len(r.Decisions)-crashedDecided(r), r.N-len(r.Crashed), r.HorizonReached)
-		}
-	}
-	return bad
-}
-
-func crashedDecided(r *Result) int {
-	n := 0
-	for p := range r.Decisions {
-		if r.Crashed[p] {
-			n++
-		}
-	}
-	return n
+	return nbac.Check(c, &r.Execution)
 }

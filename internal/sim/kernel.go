@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/nbac"
 )
 
 // DefaultU is the default known upper bound on message delay, in ticks.
@@ -422,17 +423,20 @@ func Run(cfg Config) *Result {
 
 func (k *kernel) result(horizon bool) *Result {
 	r := &Result{
-		N: k.cfg.N, F: k.cfg.F, U: k.cfg.U,
-		Votes:          append([]core.Value(nil), k.cfg.Votes...),
-		Decisions:      make(map[core.ProcessID]core.Value),
-		DecisionTick:   make(map[core.ProcessID]core.Ticks),
-		DecisionDepth:  make(map[core.ProcessID]int),
-		Crashed:        make(map[core.ProcessID]bool),
-		MessagesSent:   k.messagesSent,
-		SentByPath:     k.sentByPath,
-		NetworkFailure: k.netFailure,
-		HorizonReached: horizon,
-		Violations:     k.violations,
+		Execution: nbac.Execution{
+			N:              k.cfg.N,
+			Votes:          append([]core.Value(nil), k.cfg.Votes...),
+			Decisions:      make(map[core.ProcessID]core.Value),
+			Crashed:        make(map[core.ProcessID]bool),
+			NetworkFailure: k.netFailure,
+			HorizonReached: horizon,
+			Violations:     k.violations,
+		},
+		F: k.cfg.F, U: k.cfg.U,
+		DecisionTick:  make(map[core.ProcessID]core.Ticks),
+		DecisionDepth: make(map[core.ProcessID]int),
+		MessagesSent:  k.messagesSent,
+		SentByPath:    k.sentByPath,
 	}
 	for i := 1; i <= k.cfg.N; i++ {
 		p := k.procs[i]

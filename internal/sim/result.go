@@ -5,20 +5,23 @@ import (
 	"strings"
 
 	"atomiccommit/internal/core"
+	"atomiccommit/internal/nbac"
 )
 
-// Result is the complete measurement of one execution.
+// Result is the complete measurement of one execution. The NBAC
+// property predicates (Agreement, Validity, Termination, execution
+// class) live on the embedded nbac.Execution — the exact code the live
+// auditor runs against real executions — while the fields and methods
+// below measure what only the deterministic simulator can see: virtual
+// time, causal depth, and message counts.
 type Result struct {
-	N int
+	nbac.Execution
+
 	F int
 	U core.Ticks
 
-	// Votes is the proposal vector of the execution (Votes[i] is P(i+1)'s).
-	Votes []core.Value
-
-	// Decisions holds the decision of every process that decided (crashed
-	// processes may have decided before crashing).
-	Decisions     map[core.ProcessID]core.Value
+	// DecisionTick and DecisionDepth record when (virtual time) and at
+	// which causal message-chain depth each decided process decided.
 	DecisionTick  map[core.ProcessID]core.Ticks
 	DecisionDepth map[core.ProcessID]int
 
@@ -43,107 +46,6 @@ type Result struct {
 	// is not part of the n^2-n bound).
 	MessagesToDecide int
 	ToDecideByPath   map[string]int
-
-	// Failure bookkeeping, used by the property checker to decide which of
-	// the paper's execution classes this run belongs to.
-	Crashed        map[core.ProcessID]bool
-	AnyCrash       bool
-	NetworkFailure bool
-
-	// HorizonReached reports that the run was cut off (MaxTicks/MaxEvents)
-	// before the required decisions; distinguishes "still running" from a
-	// genuinely quiescent non-terminating state.
-	HorizonReached bool
-
-	// Violations lists integrity violations (deciding twice, malformed
-	// sends). Always empty for a correct protocol.
-	Violations []string
-}
-
-// FailureFree reports whether the execution had neither crash nor network
-// failure (paper: "failure-free execution").
-func (r *Result) FailureFree() bool { return !r.AnyCrash && !r.NetworkFailure }
-
-// Nice reports whether the execution is a nice execution: failure-free and
-// every process proposes 1 (paper section 2.4).
-func (r *Result) Nice() bool {
-	if !r.FailureFree() {
-		return false
-	}
-	for _, v := range r.Votes {
-		if v != core.Commit {
-			return false
-		}
-	}
-	return true
-}
-
-// Correct reports whether p is correct (did not crash) in this execution.
-func (r *Result) Correct(p core.ProcessID) bool { return !r.Crashed[p] }
-
-// AllCorrectDecided reports whether every correct process decided.
-func (r *Result) AllCorrectDecided() bool {
-	for i := 1; i <= r.N; i++ {
-		p := core.ProcessID(i)
-		if r.Correct(p) {
-			if _, ok := r.Decisions[p]; !ok {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// Agreement reports whether no two processes decided differently
-// (paper Definition 1; uniform: crashed processes' decisions count).
-func (r *Result) Agreement() bool {
-	var seen *core.Value
-	for _, p := range sortedPIDs(r.Decisions) {
-		v := r.Decisions[p]
-		if seen == nil {
-			seen = &v
-		} else if *seen != v {
-			return false
-		}
-	}
-	return true
-}
-
-// Validity reports whether every decision satisfies the paper's validity
-// property: 0 only if some process proposed 0 or a failure occurred; 1 only
-// if no process proposed 0.
-func (r *Result) Validity() bool {
-	anyZero := false
-	for _, v := range r.Votes {
-		if v == core.Abort {
-			anyZero = true
-		}
-	}
-	for _, p := range sortedPIDs(r.Decisions) {
-		switch r.Decisions[p] {
-		case core.Abort:
-			if !anyZero && r.FailureFree() {
-				return false
-			}
-		case core.Commit:
-			if anyZero {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// Termination reports whether every correct process decided; a run cut off
-// at the horizon counts as non-terminating.
-func (r *Result) Termination() bool {
-	return !r.HorizonReached && r.AllCorrectDecided()
-}
-
-// SolvesNBAC reports whether this execution solves NBAC (validity,
-// agreement, termination all hold; paper Definition 1).
-func (r *Result) SolvesNBAC() bool {
-	return r.Validity() && r.Agreement() && r.Termination() && len(r.Violations) == 0
 }
 
 // DelayUnits returns the paper's "number of message delays" of the
@@ -172,18 +74,6 @@ func (r *Result) ConsensusMessages() int {
 		}
 	}
 	return n
-}
-
-// Decision returns the common decision value if at least one process decided
-// and all agree; ok is false otherwise.
-func (r *Result) Decision() (v core.Value, ok bool) {
-	if len(r.Decisions) == 0 || !r.Agreement() {
-		return 0, false
-	}
-	for _, p := range sortedPIDs(r.Decisions) {
-		return r.Decisions[p], true
-	}
-	return 0, false
 }
 
 // String summarizes the result on one line (handy in test failures).

@@ -55,6 +55,13 @@ func AppendBool(b []byte, v bool) []byte {
 	return append(b, 0)
 }
 
+// AppendUint64 appends v as 8 fixed little-endian bytes. Used for
+// full-range values (hybrid-logical-clock stamps) where a varint would
+// average 9–10 bytes.
+func AppendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
 // AppendString appends a length-prefixed string.
 func AppendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
@@ -130,6 +137,20 @@ func (d *Decoder) Bool() bool {
 	v := d.b[d.off]
 	d.off++
 	return v != 0
+}
+
+// Uint64 reads 8 fixed little-endian bytes.
+func (d *Decoder) Uint64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
 }
 
 // Len reads a Uvarint length prefix and validates it against the remaining
